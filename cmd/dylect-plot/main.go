@@ -1,0 +1,241 @@
+// Command dylect-plot renders the raw results exported by
+// `dylectsim -json results.json` as standalone SVG bar charts — the
+// repository's figure generator (no external plotting stack needed).
+//
+// Usage:
+//
+//	dylect-plot -in results.json -out figures/        # all charts
+//	dylect-plot -in results.json -metric cteHitRate -setting high
+//
+// One SVG is produced per (metric, setting): grouped bars per workload,
+// one bar per design.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// record mirrors harness.RawResult for decoding (kept local so the tool
+// also works on hand-edited result files with extra fields).
+type record struct {
+	Workload string `json:"workload"`
+	Design   string `json:"design"`
+	Setting  string `json:"setting"`
+
+	IPC             float64 `json:"ipc"`
+	CTEHitRate      float64 `json:"cteHitRate"`
+	PreGatheredRate float64 `json:"preGatheredRate"`
+	ReadLatencyNS   float64 `json:"mcReadLatencyNS"`
+	EnergyPerInstPJ float64 `json:"energyPerInstPJ"`
+	BusUtilization  float64 `json:"busUtilization"`
+}
+
+// metrics maps CLI names to extractors.
+var metrics = map[string]func(r record) float64{
+	"ipc":           func(r record) float64 { return r.IPC },
+	"cteHitRate":    func(r record) float64 { return r.CTEHitRate },
+	"preGathered":   func(r record) float64 { return r.PreGatheredRate },
+	"mcReadLatency": func(r record) float64 { return r.ReadLatencyNS },
+	"energyPerInst": func(r record) float64 { return r.EnergyPerInstPJ },
+	"busUtil":       func(r record) float64 { return r.BusUtilization },
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("dylect-plot", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		in      = fs.String("in", "results.json", "results file from dylectsim -json")
+		outDir  = fs.String("out", "figures", "output directory for SVGs")
+		metric  = fs.String("metric", "", "single metric to plot (default: all)")
+		setting = fs.String("setting", "", "single setting to plot (low/high; default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(out, "read: %v\n", err)
+		return 1
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		fmt.Fprintf(out, "parse: %v\n", err)
+		return 1
+	}
+
+	names := []string{*metric}
+	if *metric == "" {
+		names = names[:0]
+		for m := range metrics {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+	} else if _, ok := metrics[*metric]; !ok {
+		fmt.Fprintf(out, "unknown metric %q; options: %v\n", *metric, metricNames())
+		return 2
+	}
+	settings := []string{*setting}
+	if *setting == "" {
+		settings = []string{"low", "high"}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(out, "mkdir: %v\n", err)
+		return 1
+	}
+	written := 0
+	for _, m := range names {
+		for _, s := range settings {
+			svg := renderChart(recs, m, s)
+			if svg == "" {
+				continue
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.svg", m, s))
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintf(out, "write: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(out, path)
+			written++
+		}
+	}
+	if written == 0 {
+		fmt.Fprintln(out, "no matching data")
+		return 1
+	}
+	return 0
+}
+
+func metricNames() []string {
+	var ns []string
+	for m := range metrics {
+		ns = append(ns, m)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+var designColors = map[string]string{
+	"nocomp": "#888888",
+	"tmcc":   "#4472c4",
+	"dylect": "#e07b39",
+	"naive":  "#70ad47",
+}
+
+// renderChart builds a grouped bar chart for one metric/setting. It returns
+// "" when no records match.
+func renderChart(recs []record, metric, setting string) string {
+	get := metrics[metric]
+	// Collect workloads and designs present.
+	type key struct{ wl, design string }
+	vals := map[key]float64{}
+	wlSet := map[string]bool{}
+	designSet := map[string]bool{}
+	for _, r := range recs {
+		if r.Setting != setting {
+			continue
+		}
+		vals[key{r.Workload, r.Design}] = get(r)
+		wlSet[r.Workload] = true
+		designSet[r.Design] = true
+	}
+	if len(vals) == 0 {
+		return ""
+	}
+	workloads := sortedKeys(wlSet)
+	designs := sortedKeys(designSet)
+
+	maxV := 0.0
+	for _, v := range vals {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	const (
+		barW    = 14
+		gap     = 6
+		groupPd = 18
+		chartH  = 260
+		top     = 40
+		left    = 60
+	)
+	groupW := len(designs)*(barW+2) + groupPd
+	width := left + len(workloads)*groupW + 40
+	height := top + chartH + 80
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s (%s compression)</text>`+"\n",
+		left, metric, setting)
+
+	// Y axis with 4 gridlines.
+	for i := 0; i <= 4; i++ {
+		y := top + chartH - i*chartH/4
+		v := maxV * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			left, y, width-20, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`+"\n", left-6, y+4, v)
+	}
+
+	// Bars.
+	for wi, wl := range workloads {
+		gx := left + wi*groupW + gap
+		for di, d := range designs {
+			v, ok := vals[key{wl, d}]
+			if !ok {
+				continue
+			}
+			h := int(v / maxV * float64(chartH))
+			x := gx + di*(barW+2)
+			y := top + chartH - h
+			color := designColors[d]
+			if color == "" {
+				color = "#999"
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s %s: %g</title></rect>`+"\n",
+				x, y, barW, h, color, wl, d, v)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" transform="rotate(-45 %d %d)">%s</text>`+"\n",
+			gx+groupW/2, top+chartH+14, gx+groupW/2, top+chartH+14, wl)
+	}
+
+	// Legend.
+	lx := left
+	ly := height - 16
+	for _, d := range designs {
+		color := designColors[d]
+		if color == "" {
+			color = "#999"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+14, ly, d)
+		lx += 14*len(d) + 30
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `[
+  {"workload":"bfs","design":"tmcc","setting":"high","ipc":0.30,"cteHitRate":0.88},
+  {"workload":"bfs","design":"dylect","setting":"high","ipc":0.31,"cteHitRate":0.90},
+  {"workload":"canneal","design":"tmcc","setting":"high","ipc":0.18,"cteHitRate":0.36},
+  {"workload":"canneal","design":"dylect","setting":"high","ipc":0.21,"cteHitRate":0.58},
+  {"workload":"bfs","design":"tmcc","setting":"low","ipc":0.55,"cteHitRate":0.88}
+]`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "results.json")
+	if err := os.WriteFile(p, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlotAllMetrics(t *testing.T) {
+	in := writeSample(t)
+	outDir := t.TempDir()
+	var sb strings.Builder
+	if code := run([]string{"-in", in, "-out", outDir}, &sb); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, sb.String())
+	}
+	// Metrics with data in both settings produce two files each.
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 4 {
+		t.Fatalf("expected several SVGs, got %d", len(entries))
+	}
+	svg, err := os.ReadFile(filepath.Join(outDir, "cteHitRate_high.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(svg)
+	for _, want := range []string{"<svg", "bfs", "canneal", "dylect", "tmcc", "</svg>"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestPlotSingleMetricSetting(t *testing.T) {
+	in := writeSample(t)
+	outDir := t.TempDir()
+	var sb strings.Builder
+	code := run([]string{"-in", in, "-out", outDir, "-metric", "ipc", "-setting", "low"}, &sb)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	entries, _ := os.ReadDir(outDir)
+	if len(entries) != 1 || entries[0].Name() != "ipc_low.svg" {
+		t.Fatalf("unexpected outputs: %v", entries)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-in", "/nonexistent.json"}, &sb); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	in := writeSample(t)
+	if code := run([]string{"-in", in, "-metric", "bogus"}, &sb); code != 2 {
+		t.Fatalf("bad metric: exit %d", code)
+	}
+	if code := run([]string{"-in", in, "-setting", "none", "-out", t.TempDir()}, &sb); code != 1 {
+		t.Fatalf("no matching data: exit %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if code := run([]string{"-in", bad}, &sb); code != 1 {
+		t.Fatalf("bad json: exit %d", code)
+	}
+}

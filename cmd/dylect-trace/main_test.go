@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceList(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-listw"}, &sb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(sb.String(), "canneal") || !strings.Contains(sb.String(), "graphbig") {
+		t.Fatalf("workload list wrong:\n%s", sb.String())
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-workload", "mcf", "-n", "100"}, &sb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 101 {
+		t.Fatalf("want header + 100 rows, got %d lines", len(lines))
+	}
+	if lines[0] != "i,va,write,dependent,nonmem,stream" {
+		t.Fatalf("header wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0x") {
+		t.Fatalf("row format wrong: %s", lines[1])
+	}
+}
+
+func TestTracePages(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-workload", "bfs", "-n", "5000", "-pages"}, &sb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "page,count" || len(lines) < 10 {
+		t.Fatalf("pages output wrong (%d lines)", len(lines))
+	}
+	// Sorted by count descending.
+	first := strings.Split(lines[1], ",")
+	last := strings.Split(lines[len(lines)-1], ",")
+	if first[1] < last[1] && len(first[1]) <= len(last[1]) {
+		t.Fatalf("not sorted by heat: first=%v last=%v", first, last)
+	}
+}
+
+func TestTraceGraphMode(t *testing.T) {
+	var sb strings.Builder
+	code := run([]string{"-graph", "-vertices", "2000", "-degree", "4", "-n", "500"}, &sb)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if len(strings.Split(strings.TrimSpace(sb.String()), "\n")) != 501 {
+		t.Fatal("graph trace length wrong")
+	}
+}
+
+func TestTraceReuseProfile(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-workload", "omnetpp", "-n", "20000", "-reuse"}, &sb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	out := sb.String()
+	for _, want := range []string{"accesses,20000", "cold_misses,", "median_distance_pages,", "lru_pages,hit_rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("reuse output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceUnknownWorkload(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-workload", "nope"}, &sb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dylect/internal/engine"
+	"dylect/internal/harness"
+)
+
+// cli parses args and runs the requested experiments, writing human output
+// to out. It returns a process exit code. main stays a thin shell so the
+// whole command is testable.
+func cli(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("dylectsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		exp       = fs.String("exp", "all", "experiment name (see -list) or 'all'")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		quick     = fs.Bool("quick", false, "fast config: 4 workloads, shorter windows")
+		workloads = fs.String("workloads", "", "comma-separated workload subset")
+		scale     = fs.Uint64("scale", 0, "footprint scale divisor override")
+		warmup    = fs.Uint64("warmup", 0, "warmup accesses per core override")
+		windowUS  = fs.Uint64("window", 0, "timed window in microseconds override")
+		seed      = fs.Int64("seed", 0, "workload generator seed")
+		jsonOut   = fs.String("json", "", "also dump raw per-run results as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Fprintf(out, "%-12s %s\n", e.Name, e.Title)
+		}
+		return 0
+	}
+
+	cfg := harness.Full()
+	if *quick {
+		cfg = harness.Quick()
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	if *scale != 0 {
+		cfg.ScaleDivisor = *scale
+	}
+	if *warmup != 0 {
+		cfg.WarmupAccesses = *warmup
+	}
+	if *windowUS != 0 {
+		cfg.Window = engine.Time(*windowUS) * engine.Microsecond
+	}
+	cfg.Seed = *seed
+
+	runner := harness.NewRunner(cfg)
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			e, ok := harness.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(out, "unknown experiment %q; use -list\n", name)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		blocks := e.Run(runner)
+		fmt.Fprintf(out, "== %s (%s, %.1fs, %d cumulative runs)\n\n",
+			e.Title, e.Name, time.Since(start).Seconds(), runner.Runs())
+		for _, b := range blocks {
+			fmt.Fprintln(out, b)
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := runner.ExportJSON()
+		if err != nil {
+			fmt.Fprintf(out, "json export: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(out, "json export: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "raw results written to %s\n", *jsonOut)
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIList(t *testing.T) {
+	var sb strings.Builder
+	if code := cli([]string{"-list"}, &sb); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	out := sb.String()
+	for _, want := range []string{"table1", "fig18", "fig25", "abl-gradual"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if code := cli([]string{"-exp", "fig99"}, &sb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(sb.String(), "unknown experiment") {
+		t.Fatal("missing error message")
+	}
+}
+
+func TestCLIBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if code := cli([]string{"-definitely-not-a-flag"}, &sb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestCLIStaticExperiment(t *testing.T) {
+	// table3 needs no simulation: exercises the full path cheaply.
+	var sb strings.Builder
+	code := cli([]string{"-exp", "table3", "-quick"}, &sb)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "DDR4-3200") {
+		t.Fatalf("table3 output missing:\n%s", sb.String())
+	}
+}
+
+func TestCLISimulatedExperimentWithJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	var sb strings.Builder
+	code := cli([]string{
+		"-exp", "fig17", "-workloads", "omnetpp",
+		"-scale", "16", "-warmup", "20000", "-window", "10",
+		"-json", jsonPath,
+	}, &sb)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "omnetpp") {
+		t.Fatal("figure output missing workload row")
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	if !strings.Contains(string(data), "\"workload\": \"omnetpp\"") {
+		t.Fatal("json missing run record")
+	}
+}

@@ -1,0 +1,16 @@
+// Command dylectsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dylectsim -exp fig18            # one experiment, full config
+//	dylectsim -exp all -quick       # everything, fast config
+//	dylectsim -list                 # list experiments
+//	dylectsim -exp fig18 -workloads bfs,canneal -scale 16
+//	dylectsim -exp all -json results.json
+package main
+
+import "os"
+
+func main() {
+	os.Exit(cli(os.Args[1:], os.Stdout))
+}

@@ -1,0 +1,35 @@
+package dylect
+
+import "dylect/internal/comp"
+
+// The compression substrate is exported for standalone use: BDI and FPC
+// block compressors plus the page-granularity packer used by the simulated
+// memory controller.
+
+// Compression granularities.
+const (
+	BlockSize = comp.BlockSize // 64B memory block
+	PageSize  = comp.PageSize  // 4KB OS page
+)
+
+// CompressBlockBDI compresses a 64-byte block with Base-Delta-Immediate.
+func CompressBlockBDI(block []byte) ([]byte, error) { return comp.BDICompress(block) }
+
+// DecompressBlockBDI reverses CompressBlockBDI.
+func DecompressBlockBDI(data []byte) ([]byte, error) { return comp.BDIDecompress(data) }
+
+// CompressBlockFPC compresses a block with Frequent Pattern Compression
+// (byte-aligned framing; see comp.FPCSizeBits for the bit-packed size).
+func CompressBlockFPC(block []byte) ([]byte, error) { return comp.FPCCompress(block) }
+
+// DecompressBlockFPC reverses CompressBlockFPC given the original length.
+func DecompressBlockFPC(data []byte, origLen int) ([]byte, error) {
+	return comp.FPCDecompress(data, origLen)
+}
+
+// CompressPage compresses a 4KB page block-by-block with the cheaper of BDI
+// and FPC per block, the way the simulated hardware packs pages.
+func CompressPage(page []byte) ([]byte, error) { return comp.CompressPage(page) }
+
+// DecompressPage reverses CompressPage.
+func DecompressPage(data []byte) ([]byte, error) { return comp.DecompressPage(data) }

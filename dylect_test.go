@@ -1,0 +1,110 @@
+package dylect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRegistryExported(t *testing.T) {
+	if len(Workloads()) != 12 || len(WorkloadNames()) != 12 {
+		t.Fatal("expected the paper's 12 workloads")
+	}
+	if _, ok := WorkloadByName("canneal"); !ok {
+		t.Fatal("canneal missing")
+	}
+}
+
+func TestExperimentRegistryExported(t *testing.T) {
+	es := Experiments()
+	if len(es) != 20 {
+		t.Fatalf("experiment count = %d, want 20 (3 tables + 13 figures + naive + motivation + 2 ablations)", len(es))
+	}
+	if _, ok := ExperimentByName("fig18"); !ok {
+		t.Fatal("fig18 missing")
+	}
+	if _, ok := ExperimentByName("bogus"); ok {
+		t.Fatal("bogus experiment found")
+	}
+}
+
+func TestSimulateSmoke(t *testing.T) {
+	w, _ := WorkloadByName("omnetpp")
+	res := Simulate(RunOptions{
+		Workload:       w,
+		Design:         DesignDyLeCT,
+		Setting:        SettingHigh,
+		HugePages:      true,
+		ScaleDivisor:   16,
+		FootprintFloor: 64 << 20,
+		CTECacheBytes:  8 << 10,
+		WarmupAccesses: 40_000,
+		Window:         20 * Microsecond,
+	})
+	if res.Insts == 0 || res.IPC <= 0 {
+		t.Fatalf("simulation committed nothing: %+v", res)
+	}
+	if res.CTEHitRate <= 0 || res.CTEHitRate > 1 {
+		t.Fatalf("CTE hit rate out of range: %v", res.CTEHitRate)
+	}
+}
+
+func TestStaticExperimentsRun(t *testing.T) {
+	runner := NewRunner(HarnessConfig{
+		Workloads:      []string{"bfs"},
+		ScaleDivisor:   16,
+		FootprintFloor: 64 << 20,
+		WarmupAccesses: 1,
+		Window:         Microsecond,
+	})
+	// table3 needs no simulation at all.
+	e, _ := ExperimentByName("table3")
+	out := e.Run(runner)
+	if len(out) != 1 || !strings.Contains(out[0], "DDR4-3200") {
+		t.Fatalf("table3 output wrong:\n%v", out)
+	}
+}
+
+func TestCompressExports(t *testing.T) {
+	page := make([]byte, PageSize)
+	for i := 0; i < PageSize/4; i++ {
+		page[i*4] = byte(i % 7) // small 32-bit integers: FPC-friendly
+	}
+	c, err := CompressPage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= PageSize {
+		t.Fatalf("small-integer page did not compress: %d bytes", len(c))
+	}
+	d, err := DecompressPage(c)
+	if err != nil || !bytes.Equal(d, page) {
+		t.Fatal("page round-trip failed through the public API")
+	}
+
+	block := make([]byte, BlockSize)
+	bd, err := CompressBlockBDI(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt, err := DecompressBlockBDI(bd); err != nil || !bytes.Equal(rt, block) {
+		t.Fatal("BDI round-trip failed through the public API")
+	}
+	bf, err := CompressBlockFPC(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt, err := DecompressBlockFPC(bf, BlockSize); err != nil || !bytes.Equal(rt, block) {
+		t.Fatal("FPC round-trip failed through the public API")
+	}
+}
+
+func TestDefaultSystemConfigMatchesTable3(t *testing.T) {
+	cfg := DefaultSystemConfig()
+	if cfg.Cores != 4 || cfg.Width != 4 || cfg.TLBEntries != 1024 {
+		t.Fatalf("Table 3 parameters wrong: %+v", cfg)
+	}
+	if cfg.L3.SizeBytes != 8<<20 {
+		t.Fatal("L3 must be 8MB total")
+	}
+}

@@ -1,0 +1,70 @@
+// Capacity planning: how hard can memory be compressed before performance
+// collapses? This example sweeps the DRAM provisioning for one workload
+// (the paper's low/high settings plus the uncompressed baseline) under both
+// TMCC and DyLeCT, reporting performance, effective capacity, and DRAM
+// energy — the trade-off a deployment would actually evaluate (Sections V
+// and VI of the paper).
+//
+// Run with:
+//
+//	go run ./examples/capacity [workload]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dylect"
+)
+
+func main() {
+	name := "sssp"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := dylect.WorkloadByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; options: %v\n", name, dylect.WorkloadNames())
+		os.Exit(2)
+	}
+
+	base := dylect.RunOptions{
+		Workload:       w,
+		HugePages:      true,
+		ScaleDivisor:   8,
+		FootprintFloor: 192 << 20,
+		CTECacheBytes:  16 << 10,
+		WarmupAccesses: 250_000,
+		Window:         150 * dylect.Microsecond,
+	}
+
+	fmt.Printf("Capacity sweep for %s\n\n", name)
+	fmt.Printf("%-10s %-8s %10s %8s %10s %12s %14s\n",
+		"design", "setting", "DRAM(MB)", "IPC", "vs base", "comp.ratio", "energy/inst")
+
+	noneOpts := base
+	noneOpts.Design = dylect.DesignNoComp
+	noneOpts.Setting = dylect.SettingNone
+	baseline := dylect.Simulate(noneOpts)
+	fmt.Printf("%-10s %-8s %10d %8.4f %9.0f%% %12s %14.1f\n",
+		"nocomp", "none", baseline.DRAMBytes>>20, baseline.IPC, 100.0, "1.00",
+		baseline.EnergyPerInst())
+
+	for _, design := range []dylect.Design{dylect.DesignTMCC, dylect.DesignDyLeCT} {
+		for _, setting := range []dylect.Setting{dylect.SettingLow, dylect.SettingHigh} {
+			opts := base
+			opts.Design = design
+			opts.Setting = setting
+			res := dylect.Simulate(opts)
+			rel := 0.0
+			if baseline.IPC > 0 {
+				rel = res.IPC / baseline.IPC * 100
+			}
+			fmt.Printf("%-10s %-8s %10d %8.4f %9.0f%% %12.2f %14.1f\n",
+				design, setting, res.DRAMBytes>>20, res.IPC, rel,
+				res.CompressionRatio, res.EnergyPerInst())
+		}
+	}
+	fmt.Println("\nenergy/inst is DRAM picojoules per committed instruction;")
+	fmt.Println("the no-compression row provisions 2x the DRAM ranks (Figure 24's comparison).")
+}

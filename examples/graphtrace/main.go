@@ -1,0 +1,94 @@
+// Graph-trace demo: generate a synthetic power-law graph, run a real BFS
+// over its CSR representation, and characterize the resulting memory access
+// stream — the execution-driven ground truth behind the statistical
+// GraphBIG-style mixtures the harness uses. Shows why graph analytics is
+// translation-hostile: the footprint is large, property gathers are
+// dependent and scattered, and reuse concentrates on hub vertices.
+//
+// Run with:
+//
+//	go run ./examples/graphtrace
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"dylect"
+)
+
+func main() {
+	const (
+		vertices  = 1 << 20 // 1M vertices
+		avgDegree = 16
+	)
+	fmt.Printf("Generating power-law graph: %d vertices, avg degree %d...\n", vertices, avgDegree)
+	g := dylect.GenerateGraph(42, vertices, avgDegree)
+
+	// Degree distribution summary.
+	var maxDeg, over256 uint64
+	for v := uint64(0); v < g.NumVertices(); v++ {
+		d := g.Degree(v)
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d > 256 {
+			over256++
+		}
+	}
+	fmt.Printf("edges: %d; max degree: %d; hubs (>256 out-edges): %d\n\n",
+		g.NumEdges(), maxDeg, over256)
+
+	// Run a BFS and characterize its address stream.
+	bfs := dylect.NewBFSTrace(g, 7)
+	layout := bfs.Layout()
+	fmt.Printf("CSR footprint: %d MB (props %dMB | offsets %dMB | edges %dMB)\n\n",
+		layout.Footprint>>20,
+		(layout.OffsetsBase-layout.PropsBase)>>20,
+		(layout.EdgesBase-layout.OffsetsBase)>>20,
+		(layout.Footprint-layout.EdgesBase)>>20)
+
+	const n = 5_000_000
+	var a dylect.AccessTrace
+	pages := map[uint64]uint64{}
+	var dependent, writes uint64
+	for i := 0; i < n; i++ {
+		bfs.Next(&a)
+		pages[a.VA/4096]++
+		if a.Dependent {
+			dependent++
+		}
+		if a.Write {
+			writes++
+		}
+	}
+	fmt.Printf("after %d BFS memory accesses:\n", n)
+	fmt.Printf("  vertices visited:   %d\n", bfs.VisitedCount())
+	fmt.Printf("  distinct 4KB pages: %d (%.1f MB touched)\n", len(pages), float64(len(pages))*4096/1e6)
+	fmt.Printf("  dependent accesses: %.1f%%\n", float64(dependent)/n*100)
+	fmt.Printf("  writes:             %.1f%%\n", float64(writes)/n*100)
+
+	// Traffic concentration: how much of the stream hits the hottest pages?
+	counts := make([]uint64, 0, len(pages))
+	var total uint64
+	for _, c := range pages {
+		counts = append(counts, c)
+		total += c
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var cum uint64
+	top := len(counts) / 100
+	if top == 0 {
+		top = 1
+	}
+	for _, c := range counts[:top] {
+		cum += c
+	}
+	fmt.Printf("  hottest 1%% of pages absorb %.1f%% of accesses (hub skew)\n",
+		float64(cum)/float64(total)*100)
+
+	fmt.Printf("\nwith a 64MB translation reach (%.0f%% of this footprint), a flat\n",
+		64.0*1024*1024/float64(layout.Footprint)*100)
+	fmt.Println("CTE table would miss on most property gathers — exactly the gap")
+	fmt.Println("DyLeCT's 2-bit short CTEs close (1MB reach per pre-gathered block).")
+}

@@ -1,0 +1,60 @@
+// Quickstart: simulate one workload under DyLeCT and the TMCC baseline at
+// the paper's high-compression setting and compare the headline metrics
+// (Figure 18/19 for a single benchmark).
+//
+// Run with:
+//
+//	go run ./examples/quickstart [workload]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dylect"
+)
+
+func main() {
+	name := "bfs"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := dylect.WorkloadByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; options: %v\n", name, dylect.WorkloadNames())
+		os.Exit(2)
+	}
+
+	base := dylect.RunOptions{
+		Workload:       w,
+		Setting:        dylect.SettingHigh,
+		HugePages:      true,
+		ScaleDivisor:   8,
+		FootprintFloor: 192 << 20,
+		CTECacheBytes:  16 << 10, // 128KB scaled 1/8 with the footprint
+		WarmupAccesses: 250_000,
+		Window:         150 * dylect.Microsecond,
+	}
+
+	fmt.Printf("Simulating %s (footprint scaled to 1/8, high compression)...\n\n", name)
+
+	tmccOpts := base
+	tmccOpts.Design = dylect.DesignTMCC
+	tmcc := dylect.Simulate(tmccOpts)
+
+	dyOpts := base
+	dyOpts.Design = dylect.DesignDyLeCT
+	dy := dylect.Simulate(dyOpts)
+
+	fmt.Printf("%-28s %12s %12s\n", "metric", "TMCC", "DyLeCT")
+	fmt.Printf("%-28s %12.4f %12.4f\n", "IPC (all cores)", tmcc.IPC, dy.IPC)
+	fmt.Printf("%-28s %11.1f%% %11.1f%%\n", "CTE cache hit rate", tmcc.CTEHitRate*100, dy.CTEHitRate*100)
+	fmt.Printf("%-28s %12s %11.1f%%\n", "  served by pre-gathered", "n/a", dy.PreGatheredRate*100)
+	fmt.Printf("%-28s %12.1f %12.1f\n", "MC read latency (ns)", tmcc.ReadLatencyNS, dy.ReadLatencyNS)
+	fmt.Printf("%-28s %12.2f %12.2f\n", "compression ratio", tmcc.CompressionRatio, dy.CompressionRatio)
+	fmt.Printf("%-28s %12d %12d\n", "page expansions", tmcc.Expansions, dy.Expansions)
+	fmt.Printf("%-28s %12s %12d\n", "ML0 pages (short CTEs)", "n/a", dy.ML0)
+	if tmcc.IPC > 0 {
+		fmt.Printf("\nDyLeCT speedup over TMCC: %.2fx (paper average: 1.10x)\n", dy.IPC/tmcc.IPC)
+	}
+}

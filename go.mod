@@ -1,0 +1,3 @@
+module dylect
+
+go 1.22

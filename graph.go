@@ -1,0 +1,34 @@
+package dylect
+
+import "dylect/internal/trace"
+
+// Execution-driven graph traces (see examples/graphtrace): a synthetic
+// power-law CSR graph plus walkers that emit the exact address streams of
+// BFS and PageRank traversals, as an alternative to the statistical
+// workload mixtures.
+
+// Graph re-exports the synthetic CSR graph.
+type Graph = trace.Graph
+
+// AccessTrace is one synthesized memory access.
+type AccessTrace = trace.Access
+
+// TraceGenerator produces an infinite access stream.
+type TraceGenerator = trace.Generator
+
+// GenerateGraph builds a deterministic power-law graph.
+func GenerateGraph(seed int64, vertices uint64, avgDegree int) *Graph {
+	return trace.GenerateGraph(seed, vertices, avgDegree)
+}
+
+// NewBFSTrace returns a generator emitting a real breadth-first traversal's
+// memory accesses over g.
+func NewBFSTrace(g *Graph, seed int64) *trace.BFSWalker {
+	return trace.NewBFSWalker(g, seed)
+}
+
+// NewPageRankTrace returns a generator emitting PageRank power-iteration
+// memory accesses over g.
+func NewPageRankTrace(g *Graph) *trace.PageRankWalker {
+	return trace.NewPageRankWalker(g)
+}

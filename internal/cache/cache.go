@@ -1,0 +1,203 @@
+// Package cache implements the set-associative caches used throughout the
+// simulator: the CPU's L1/L2/L3 data caches, the per-core page-walker
+// caches, and the memory controller's CTE cache (which stores 64B blocks
+// from the unified CTE table and — under DyLeCT — the pre-gathered table in
+// a single structure). It also provides the next-line (with automatic
+// enable/disable) and stride prefetchers from Table 3.
+package cache
+
+import (
+	"fmt"
+
+	"dylect/internal/stats"
+)
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+}
+
+// Lines returns the number of cache lines.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Assoc }
+
+// Validate checks the geometry is usable.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.Lines()%c.Assoc != 0 || c.Lines() < c.Assoc {
+		return fmt.Errorf("cache: %d lines not divisible into %d-way sets", c.Lines(), c.Assoc)
+	}
+	return nil
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU stamp
+}
+
+// Cache is a set-associative, true-LRU, write-back cache keyed by line
+// address. It is purely functional (no timing); latency lives in the
+// system model.
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	tick  uint64
+	shift uint
+	mask  uint64
+
+	Hits   stats.Counter
+	Misses stats.Counter
+}
+
+// New builds a cache; it panics on invalid geometry (a configuration bug,
+// not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg}
+	nsets := cfg.Sets()
+	c.sets = make([][]way, nsets)
+	backing := make([]way, nsets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	for s := uint(0); (1 << s) < cfg.LineBytes; s++ {
+		c.shift = s + 1
+	}
+	c.mask = uint64(nsets - 1)
+	if nsets&(nsets-1) != 0 {
+		c.mask = 0 // non-power-of-two sets: use modulo
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr converts a byte address to this cache's line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.shift }
+
+func (c *Cache) setOf(line uint64) []way {
+	if c.mask != 0 {
+		return c.sets[line&c.mask]
+	}
+	return c.sets[line%uint64(len(c.sets))]
+}
+
+// Access looks up the line containing addr, updating LRU and hit/miss
+// statistics. On a write hit the line is marked dirty.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	line := c.LineAddr(addr)
+	set := c.setOf(line)
+	c.tick++
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].used = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.Hits.Inc()
+			return true
+		}
+	}
+	c.Misses.Inc()
+	return false
+}
+
+// Probe reports whether the line containing addr is present, without
+// touching LRU state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	line := c.LineAddr(addr)
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line containing addr (marking it dirty if requested) and
+// returns the evicted victim, if any. Filling an already-present line only
+// refreshes its LRU position.
+func (c *Cache) Fill(addr uint64, dirty bool) (victimAddr uint64, victimDirty, evicted bool) {
+	line := c.LineAddr(addr)
+	set := c.setOf(line)
+	c.tick++
+	lru := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].used = c.tick
+			if dirty {
+				set[i].dirty = true
+			}
+			return 0, false, false
+		}
+		if !set[i].valid {
+			lru = i
+		}
+	}
+	if set[lru].valid { // no invalid way found; find true LRU
+		for i := range set {
+			if set[i].used < set[lru].used {
+				lru = i
+			}
+		}
+	}
+	v := set[lru]
+	set[lru] = way{tag: line, valid: true, dirty: dirty, used: c.tick}
+	if v.valid {
+		return v.tag << c.shift, v.dirty, true
+	}
+	return 0, false, false
+}
+
+// Invalidate drops the line containing addr if present, returning whether it
+// was dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	line := c.LineAddr(addr)
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			d := set[i].dirty
+			set[i] = way{}
+			return d, true
+		}
+	}
+	return false, false
+}
+
+// HitRate returns hits/(hits+misses).
+func (c *Cache) HitRate() float64 {
+	return stats.Ratio(c.Hits.Value(), c.Hits.Value()+c.Misses.Value())
+}
+
+// ResetStats zeroes hit/miss counters (cache contents stay warm), used at
+// the boundary between functional warmup and the timed window.
+func (c *Cache) ResetStats() {
+	c.Hits.Reset()
+	c.Misses.Reset()
+}
+
+// Occupancy returns the fraction of ways currently valid.
+func (c *Cache) Occupancy() float64 {
+	valid, total := 0, 0
+	for _, set := range c.sets {
+		for i := range set {
+			total++
+			if set[i].valid {
+				valid++
+			}
+		}
+	}
+	return float64(valid) / float64(total)
+}

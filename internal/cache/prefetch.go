@@ -1,0 +1,127 @@
+package cache
+
+// Prefetchers from Table 3: next-line with automatic enable/disable at L1/L2
+// and stride prefetchers (degree 2 at L1, degree 4 at L2). They observe the
+// demand access stream at a cache level and emit line addresses to fetch.
+
+// NextLine is a next-line prefetcher that monitors its own accuracy and
+// disables itself when prefetches are not being used, re-probing
+// periodically (the "automatic enable/disable" of Table 3).
+type NextLine struct {
+	enabled   bool
+	issued    [64]uint64 // ring of recently prefetched lines
+	head      int
+	nIssued   uint64
+	nUseful   uint64
+	sinceEval uint64
+}
+
+// NewNextLine returns an enabled next-line prefetcher.
+func NewNextLine() *NextLine { return &NextLine{enabled: true} }
+
+// Enabled reports whether the prefetcher is currently active.
+func (p *NextLine) Enabled() bool { return p.enabled }
+
+// Accuracy returns useful/issued so far.
+func (p *NextLine) Accuracy() float64 {
+	if p.nIssued == 0 {
+		return 0
+	}
+	return float64(p.nUseful) / float64(p.nIssued)
+}
+
+const nextLineEvalWindow = 256
+
+// Observe is called with each demand line access; it returns the lines to
+// prefetch (at most one).
+func (p *NextLine) Observe(line uint64) []uint64 {
+	// Usefulness: the access consumes a previously issued prefetch.
+	for i, l := range p.issued {
+		if l != 0 && l == line {
+			p.nUseful++
+			p.issued[i] = 0
+			break
+		}
+	}
+	p.sinceEval++
+	if p.sinceEval >= nextLineEvalWindow {
+		p.sinceEval = 0
+		// Disable when inaccurate, re-enable optimistically each window.
+		if p.nIssued >= 32 && p.Accuracy() < 0.125 {
+			p.enabled = false
+		} else {
+			p.enabled = true
+		}
+		p.nIssued, p.nUseful = 0, 0
+	}
+	if !p.enabled {
+		return nil
+	}
+	p.nIssued++
+	p.issued[p.head] = line + 1
+	p.head = (p.head + 1) % len(p.issued)
+	return []uint64{line + 1}
+}
+
+// Stride is a per-stream stride prefetcher: it detects a constant line-level
+// stride per stream ID (the workload's access-stream identifier, standing in
+// for the program counter) and prefetches `degree` lines ahead once the
+// stride is confirmed twice.
+type Stride struct {
+	degree  int
+	entries map[uint64]*strideEntry
+	limit   int
+}
+
+type strideEntry struct {
+	last       uint64
+	stride     int64
+	confidence int
+}
+
+// NewStride builds a stride prefetcher with the given degree.
+func NewStride(degree int) *Stride {
+	return &Stride{degree: degree, entries: make(map[uint64]*strideEntry), limit: 256}
+}
+
+// Observe is called with each demand access (stream ID and line address) and
+// returns lines to prefetch.
+func (p *Stride) Observe(stream, line uint64) []uint64 {
+	e, ok := p.entries[stream]
+	if !ok {
+		if len(p.entries) >= p.limit {
+			// Bounded table: drop everything (cheap victimization that keeps
+			// the model deterministic).
+			p.entries = make(map[uint64]*strideEntry, p.limit)
+		}
+		p.entries[stream] = &strideEntry{last: line}
+		return nil
+	}
+	stride := int64(line) - int64(e.last)
+	e.last = line
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.confidence < 4 {
+			e.confidence++
+		}
+	} else {
+		e.stride = stride
+		e.confidence = 0
+		return nil
+	}
+	if e.confidence < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	next := int64(line)
+	for i := 0; i < p.degree; i++ {
+		next += stride
+		if next < 0 {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package comp implements the compression substrate of the study: real
+// block-level compressors (Base-Delta-Immediate and Frequent Pattern
+// Compression), a 4KB page packer built on them, the latency model of the
+// paper's DEFLATE ASIC (280ns per 4KB), and a deterministic per-page
+// compressed-size model the simulator uses so multi-gigabyte footprints can
+// be simulated without materializing their data.
+package comp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the memory block granularity (a cache line).
+const BlockSize = 64
+
+// BDIMode identifies the encoding chosen by BDI for a block.
+type BDIMode uint8
+
+// BDI encodings, ordered roughly by compressed size.
+const (
+	BDIZeros BDIMode = iota // all-zero block: 0 payload bytes
+	BDIRep8                 // one repeated 8-byte value: 8 bytes
+	BDIB8D1                 // 8-byte base + 1-byte deltas: 16 bytes
+	BDIB8D2                 // 8-byte base + 2-byte deltas: 24 bytes
+	BDIB4D1                 // 4-byte base + 1-byte deltas: 20 bytes
+	BDIB8D4                 // 8-byte base + 4-byte deltas: 40 bytes
+	BDIB2D1                 // 2-byte base + 1-byte deltas: 34 bytes
+	BDIB4D2                 // 4-byte base + 2-byte deltas: 36 bytes
+	BDIRaw                  // incompressible: 64 bytes
+)
+
+// payloadSize returns the encoded payload size for each mode.
+func (m BDIMode) payloadSize() int {
+	switch m {
+	case BDIZeros:
+		return 0
+	case BDIRep8:
+		return 8
+	case BDIB8D1:
+		return 8 + 8*1
+	case BDIB8D2:
+		return 8 + 8*2
+	case BDIB4D1:
+		return 4 + 16*1
+	case BDIB8D4:
+		return 8 + 8*4
+	case BDIB2D1:
+		return 2 + 32*1
+	case BDIB4D2:
+		return 4 + 16*2
+	default:
+		return BlockSize
+	}
+}
+
+// String names the mode.
+func (m BDIMode) String() string {
+	names := [...]string{"zeros", "rep8", "b8d1", "b8d2", "b4d1", "b8d4", "b2d1", "b4d2", "raw"}
+	if int(m) < len(names) {
+		return names[m]
+	}
+	return fmt.Sprintf("bdi(%d)", uint8(m))
+}
+
+type bdiParams struct {
+	mode  BDIMode
+	base  int // base size in bytes
+	delta int // delta size in bytes
+}
+
+var bdiConfigs = []bdiParams{
+	{BDIB8D1, 8, 1},
+	{BDIB4D1, 4, 1},
+	{BDIB8D2, 8, 2},
+	{BDIB2D1, 2, 1},
+	{BDIB4D2, 4, 2},
+	{BDIB8D4, 8, 4},
+}
+
+func loadUint(b []byte, size int) uint64 {
+	switch size {
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+func storeUint(b []byte, size int, v uint64) {
+	switch size {
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+// fitsSigned reports whether the signed difference d (in size-byte
+// arithmetic) fits in deltaBytes.
+func fitsSigned(d uint64, baseBytes, deltaBytes int) bool {
+	// Sign-extend d from baseBytes*8 bits.
+	shift := uint(64 - baseBytes*8)
+	sd := int64(d<<shift) >> shift
+	limit := int64(1) << uint(deltaBytes*8-1)
+	return sd >= -limit && sd < limit
+}
+
+// bdiPick finds the cheapest BDI mode for a 64-byte block.
+func bdiPick(block []byte) BDIMode {
+	allZero := true
+	for _, b := range block {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return BDIZeros
+	}
+	rep := true
+	first := binary.LittleEndian.Uint64(block)
+	for off := 8; off < BlockSize; off += 8 {
+		if binary.LittleEndian.Uint64(block[off:]) != first {
+			rep = false
+			break
+		}
+	}
+	if rep {
+		return BDIRep8
+	}
+	best := BDIRaw
+	bestSize := BlockSize
+	for _, p := range bdiConfigs {
+		base := loadUint(block, p.base)
+		ok := true
+		for off := 0; off < BlockSize; off += p.base {
+			v := loadUint(block[off:], p.base)
+			if !fitsSigned(v-base, p.base, p.delta) {
+				ok = false
+				break
+			}
+		}
+		if ok && p.mode.payloadSize() < bestSize {
+			best = p.mode
+			bestSize = p.mode.payloadSize()
+		}
+	}
+	return best
+}
+
+// BDICompress compresses one 64-byte block. The output is a one-byte mode
+// header followed by the mode's payload. It never fails: incompressible
+// blocks are stored raw (65 bytes total).
+func BDICompress(block []byte) ([]byte, error) {
+	if len(block) != BlockSize {
+		return nil, fmt.Errorf("comp: BDI block must be %d bytes, got %d", BlockSize, len(block))
+	}
+	mode := bdiPick(block)
+	out := make([]byte, 0, 1+mode.payloadSize())
+	out = append(out, byte(mode))
+	switch mode {
+	case BDIZeros:
+	case BDIRep8:
+		out = append(out, block[:8]...)
+	case BDIRaw:
+		out = append(out, block...)
+	default:
+		var p bdiParams
+		for _, c := range bdiConfigs {
+			if c.mode == mode {
+				p = c
+			}
+		}
+		base := loadUint(block, p.base)
+		var tmp [8]byte
+		storeUint(tmp[:], p.base, base)
+		out = append(out, tmp[:p.base]...)
+		for off := 0; off < BlockSize; off += p.base {
+			d := loadUint(block[off:], p.base) - base
+			var db [8]byte
+			binary.LittleEndian.PutUint64(db[:], d)
+			out = append(out, db[:p.delta]...)
+		}
+	}
+	return out, nil
+}
+
+// BDIDecompress reverses BDICompress, returning the original 64-byte block.
+func BDIDecompress(data []byte) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, errors.New("comp: empty BDI stream")
+	}
+	mode := BDIMode(data[0])
+	payload := data[1:]
+	if len(payload) != mode.payloadSize() {
+		return nil, fmt.Errorf("comp: BDI mode %v wants %d payload bytes, got %d",
+			mode, mode.payloadSize(), len(payload))
+	}
+	block := make([]byte, BlockSize)
+	switch mode {
+	case BDIZeros:
+	case BDIRep8:
+		for off := 0; off < BlockSize; off += 8 {
+			copy(block[off:], payload[:8])
+		}
+	case BDIRaw:
+		copy(block, payload)
+	default:
+		var p bdiParams
+		found := false
+		for _, c := range bdiConfigs {
+			if c.mode == mode {
+				p, found = c, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("comp: unknown BDI mode %d", mode)
+		}
+		base := loadUint(payload, p.base)
+		deltas := payload[p.base:]
+		shift := uint(64 - p.delta*8)
+		for i, off := 0, 0; off < BlockSize; i, off = i+1, off+p.base {
+			var db [8]byte
+			copy(db[:], deltas[i*p.delta:(i+1)*p.delta])
+			d := binary.LittleEndian.Uint64(db[:])
+			d = uint64(int64(d<<shift) >> shift) // sign extend
+			storeUint(block[off:], p.base, base+d)
+		}
+	}
+	return block, nil
+}
+
+// BDISize returns the compressed size in bytes (header included) BDI would
+// produce for the block, without materializing the encoding.
+func BDISize(block []byte) int {
+	if len(block) != BlockSize {
+		return len(block) + 1
+	}
+	return 1 + bdiPick(block).payloadSize()
+}

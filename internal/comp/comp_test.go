@@ -1,0 +1,462 @@
+package comp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dylect/internal/engine"
+)
+
+func TestBDIZeros(t *testing.T) {
+	block := make([]byte, BlockSize)
+	c, err := BDICompress(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 1 || BDIMode(c[0]) != BDIZeros {
+		t.Fatalf("zero block compressed to %d bytes mode %v", len(c), BDIMode(c[0]))
+	}
+	d, err := BDIDecompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, block) {
+		t.Fatal("zero block roundtrip failed")
+	}
+}
+
+func TestBDIRepeated(t *testing.T) {
+	block := make([]byte, BlockSize)
+	for off := 0; off < BlockSize; off += 8 {
+		binary.LittleEndian.PutUint64(block[off:], 0xDEADBEEFCAFEBABE)
+	}
+	c, _ := BDICompress(block)
+	if BDIMode(c[0]) != BDIRep8 || len(c) != 9 {
+		t.Fatalf("repeated block: mode %v len %d", BDIMode(c[0]), len(c))
+	}
+	d, err := BDIDecompress(c)
+	if err != nil || !bytes.Equal(d, block) {
+		t.Fatal("repeated roundtrip failed")
+	}
+}
+
+func TestBDIBaseDelta(t *testing.T) {
+	// Pointers into the same region: 8-byte values with small deltas.
+	block := make([]byte, BlockSize)
+	base := uint64(0x7FFF_0000_1000)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(block[i*8:], base+uint64(i*16))
+	}
+	c, _ := BDICompress(block)
+	if BDIMode(c[0]) != BDIB8D1 {
+		t.Fatalf("pointer block mode = %v, want b8d1", BDIMode(c[0]))
+	}
+	if len(c) != 1+16 {
+		t.Fatalf("pointer block size = %d, want 17", len(c))
+	}
+	d, err := BDIDecompress(c)
+	if err != nil || !bytes.Equal(d, block) {
+		t.Fatal("b8d1 roundtrip failed")
+	}
+}
+
+func TestBDINegativeDeltas(t *testing.T) {
+	block := make([]byte, BlockSize)
+	base := uint64(1 << 40)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(block[i*8:], base-uint64(i*7))
+	}
+	c, _ := BDICompress(block)
+	d, err := BDIDecompress(c)
+	if err != nil || !bytes.Equal(d, block) {
+		t.Fatalf("negative delta roundtrip failed (mode %v)", BDIMode(c[0]))
+	}
+	if BDIMode(c[0]) == BDIRaw {
+		t.Fatal("negative small deltas should compress")
+	}
+}
+
+func TestBDIIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	block := make([]byte, BlockSize)
+	rng.Read(block)
+	c, _ := BDICompress(block)
+	d, err := BDIDecompress(c)
+	if err != nil || !bytes.Equal(d, block) {
+		t.Fatal("raw roundtrip failed")
+	}
+}
+
+func TestBDISizeMatchesCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		block := randomishBlock(rng, trial%5)
+		c, _ := BDICompress(block)
+		if BDISize(block) != len(c) {
+			t.Fatalf("BDISize %d != len(compress) %d", BDISize(block), len(c))
+		}
+	}
+}
+
+func TestBDIBadInput(t *testing.T) {
+	if _, err := BDICompress(make([]byte, 32)); err == nil {
+		t.Fatal("short block should error")
+	}
+	if _, err := BDIDecompress(nil); err == nil {
+		t.Fatal("empty stream should error")
+	}
+	if _, err := BDIDecompress([]byte{byte(BDIB8D1), 1, 2}); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+}
+
+// Property: BDI roundtrips every 64-byte block exactly.
+func TestPropertyBDIRoundTrip(t *testing.T) {
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		block := randomishBlock(rng, int(kind%5))
+		c, err := BDICompress(block)
+		if err != nil {
+			return false
+		}
+		d, err := BDIDecompress(c)
+		return err == nil && bytes.Equal(d, block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomishBlock produces blocks of different character: random, zeroish,
+// pointer-like, small-int arrays, repeated.
+func randomishBlock(rng *rand.Rand, kind int) []byte {
+	block := make([]byte, BlockSize)
+	switch kind {
+	case 0:
+		rng.Read(block)
+	case 1: // mostly zero
+		for i := 0; i < 4; i++ {
+			block[rng.Intn(BlockSize)] = byte(rng.Intn(256))
+		}
+	case 2: // pointers
+		base := rng.Uint64() >> 16
+		for i := 0; i < 8; i++ {
+			binary.LittleEndian.PutUint64(block[i*8:], base+uint64(rng.Intn(256))-128)
+		}
+	case 3: // small ints
+		for i := 0; i < 16; i++ {
+			binary.LittleEndian.PutUint32(block[i*4:], uint32(rng.Intn(64)))
+		}
+	default: // repeated word
+		v := rng.Uint64()
+		for off := 0; off < BlockSize; off += 8 {
+			binary.LittleEndian.PutUint64(block[off:], v)
+		}
+	}
+	return block
+}
+
+func TestFPCZeroBlock(t *testing.T) {
+	block := make([]byte, BlockSize)
+	// 16 zero words = 2 zero runs of 8 = 2*(3+3) bits = 12 bits.
+	if bits := FPCSizeBits(block); bits != 12 {
+		t.Fatalf("zero block FPC bits = %d, want 12", bits)
+	}
+	c, _ := FPCCompress(block)
+	d, err := FPCDecompress(c, BlockSize)
+	if err != nil || !bytes.Equal(d, block) {
+		t.Fatal("FPC zero roundtrip failed")
+	}
+}
+
+func TestFPCSmallInts(t *testing.T) {
+	block := make([]byte, BlockSize)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(block[i*4:], uint32(i-8)&0xFFFFFFFF)
+	}
+	if FPCSize(block) >= BlockSize {
+		t.Fatalf("small ints did not compress: %d bytes", FPCSize(block))
+	}
+	c, _ := FPCCompress(block)
+	d, err := FPCDecompress(c, BlockSize)
+	if err != nil || !bytes.Equal(d, block) {
+		t.Fatal("FPC small-int roundtrip failed")
+	}
+}
+
+func TestFPCPatterns(t *testing.T) {
+	words := []uint32{
+		0,          // zero
+		5,          // SE4
+		0xFFFFFFFB, // -5, SE4
+		100,        // SE8
+		0xFFFFFF00, // -256, SE16
+		30000,      // SE16
+		0xABCD0000, // half padded
+		0x007F00FF, // two SE8 halfwords (127, -1... actually 0x00FF=-1? no: 0x00FF=255 not SE8) — classify decides
+		0x41414141, // repeated bytes
+		0xDEADBEEF, // uncompressed
+	}
+	block := make([]byte, BlockSize)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(block[i*4:], w)
+	}
+	c, err := FPCCompress(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FPCDecompress(c, BlockSize)
+	if err != nil || !bytes.Equal(d, block) {
+		t.Fatal("FPC mixed-pattern roundtrip failed")
+	}
+}
+
+// Property: FPC roundtrips arbitrary blocks.
+func TestPropertyFPCRoundTrip(t *testing.T) {
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		block := randomishBlock(rng, int(kind%5))
+		c, err := FPCCompress(block)
+		if err != nil {
+			return false
+		}
+		d, err := FPCDecompress(c, BlockSize)
+		return err == nil && bytes.Equal(d, block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bit-packed FPC size is a lower bound for zero/small-int content
+// and never exceeds prefix+raw for any content.
+func TestPropertyFPCSizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		block := make([]byte, BlockSize)
+		rng.Read(block)
+		bits := FPCSizeBits(block)
+		return bits > 0 && bits <= (3+32)*16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	page := make([]byte, PageSize)
+	// Mixed content page.
+	for b := 0; b < PageSize/BlockSize; b++ {
+		copy(page[b*BlockSize:], randomishBlock(rng, b%5))
+	}
+	c, err := CompressPage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecompressPage(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, page) {
+		t.Fatal("page roundtrip failed")
+	}
+}
+
+func TestPageCompressesTypicalData(t *testing.T) {
+	// A page of small integers should compress well below 4KB.
+	page := make([]byte, PageSize)
+	for i := 0; i < PageSize/4; i++ {
+		binary.LittleEndian.PutUint32(page[i*4:], uint32(i%100))
+	}
+	c, _ := CompressPage(page)
+	if len(c) > PageSize/2 {
+		t.Fatalf("typical page compressed to %d bytes, want < %d", len(c), PageSize/2)
+	}
+}
+
+func TestPageRawFallback(t *testing.T) {
+	// A 7-periodic byte pattern defeats both BDI and FPC; the packer must
+	// fall back to raw storage with bounded size.
+	page := make([]byte, PageSize)
+	for i := range page {
+		page[i] = byte(i % 7)
+	}
+	c, err := CompressPage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) > PageSize+3 {
+		t.Fatalf("raw fallback exceeded bound: %d bytes", len(c))
+	}
+	d, err := DecompressPage(c)
+	if err != nil || !bytes.Equal(d, page) {
+		t.Fatal("raw fallback roundtrip failed")
+	}
+}
+
+func TestPageErrors(t *testing.T) {
+	if _, err := CompressPage(make([]byte, 100)); err == nil {
+		t.Fatal("short page should error")
+	}
+	if _, err := DecompressPage([]byte{1}); err == nil {
+		t.Fatal("truncated page should error")
+	}
+}
+
+// Property: whole-page roundtrip for random-ish pages.
+func TestPropertyPageRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		page := make([]byte, PageSize)
+		for b := 0; b < PageSize/BlockSize; b++ {
+			copy(page[b*BlockSize:], randomishBlock(rng, rng.Intn(5)))
+		}
+		c, err := CompressPage(page)
+		if err != nil {
+			return false
+		}
+		d, err := DecompressPage(c)
+		return err == nil && bytes.Equal(d, page)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundChunk(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 256}, {1, 256}, {256, 256}, {257, 512}, {4000, 4096}, {5000, 4096},
+	}
+	for _, c := range cases {
+		if got := RoundChunk(c.in); got != c.want {
+			t.Errorf("RoundChunk(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if ChunkClass(256) != 0 || ChunkClass(4096) != NumChunkClasses-1 {
+		t.Fatal("chunk class indexing wrong")
+	}
+}
+
+func TestLatencyScaling(t *testing.T) {
+	l := DefaultLatency
+	if l.For(4096) != 280*engine.Nanosecond {
+		t.Fatalf("4K latency = %v", l.For(4096))
+	}
+	if l.For(2<<20) != 512*280*engine.Nanosecond {
+		t.Fatalf("2MB latency = %v, want 143.36us", l.For(2<<20))
+	}
+	if l.For(1) != 280*engine.Nanosecond {
+		t.Fatal("sub-page rounds up to one page")
+	}
+}
+
+func TestSizeModelDeterministic(t *testing.T) {
+	m1 := NewSizeModel(42, 3.4)
+	m2 := NewSizeModel(42, 3.4)
+	for p := uint64(0); p < 1000; p++ {
+		if m1.CompressedSize(p) != m2.CompressedSize(p) {
+			t.Fatalf("size model not deterministic at page %d", p)
+		}
+	}
+}
+
+func TestSizeModelTargetsRatio(t *testing.T) {
+	for _, target := range []float64{1.5, 2.0, 3.4, 5.0} {
+		m := NewSizeModel(1, target)
+		got := m.MeanRatio(200000)
+		if math.Abs(got-target)/target > 0.10 {
+			t.Errorf("target %.1fx: measured %.2fx (>10%% off)", target, got)
+		}
+	}
+}
+
+func TestSizeModelBounds(t *testing.T) {
+	m := NewSizeModel(9, 3.4)
+	for p := uint64(0); p < 5000; p++ {
+		s := m.CompressedSize(p)
+		if s < ChunkAlign || s > PageSize {
+			t.Fatalf("page %d size %d out of range", p, s)
+		}
+		cs := m.ChunkSize(p)
+		if cs%ChunkAlign != 0 || cs < s {
+			t.Fatalf("page %d chunk %d invalid for size %d", p, cs, s)
+		}
+	}
+}
+
+func TestSizeModelHistogramAndPercentile(t *testing.T) {
+	m := NewSizeModel(2, 3.4)
+	const n = 50000
+	h := m.ClassHistogram(n)
+	var sum uint64
+	for _, c := range h {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("histogram lost pages: %d of %d", sum, n)
+	}
+	// ~5% of pages are incompressible (last class).
+	frac := float64(h[NumChunkClasses-1]) / n
+	if frac < 0.03 || frac > 0.12 {
+		t.Fatalf("incompressible fraction %.3f outside expectation", frac)
+	}
+	p50 := m.Percentile(0.5, n)
+	p95 := m.Percentile(0.95, n)
+	if p50 <= 0 || p95 < p50 {
+		t.Fatalf("percentiles inconsistent: p50=%d p95=%d", p50, p95)
+	}
+	if p50 > PageSize/2 {
+		t.Fatalf("median %d too large for a 3.4x model", p50)
+	}
+	if m.Percentile(0.5, 0) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestSizeModelSeedVariation(t *testing.T) {
+	a := NewSizeModel(1, 3.4)
+	b := NewSizeModel(2, 3.4)
+	same := 0
+	for p := uint64(0); p < 1000; p++ {
+		if a.CompressedSize(p) == b.CompressedSize(p) {
+			same++
+		}
+	}
+	if same > 500 {
+		t.Fatalf("different seeds produced %d/1000 identical sizes", same)
+	}
+}
+
+func BenchmarkBDICompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	blocks := make([][]byte, 64)
+	for i := range blocks {
+		blocks[i] = randomishBlock(rng, i%5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BDICompress(blocks[i%len(blocks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	page := make([]byte, PageSize)
+	for blk := 0; blk < PageSize/BlockSize; blk++ {
+		copy(page[blk*BlockSize:], randomishBlock(rng, blk%5))
+	}
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressPage(page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package comp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FPC (Frequent Pattern Compression, Alameldeen & Wood) compresses a block
+// as a sequence of 32-bit words, each tagged with a 3-bit prefix naming one
+// of eight frequent patterns. FPCSizeBits reports the true bit-packed size
+// used for statistics; the Compress/Decompress pair uses a byte-aligned
+// serialization of the same patterns (one prefix byte per word) so the
+// round-trip is exact and cheap to verify.
+
+// fpcPattern is the 3-bit FPC prefix.
+type fpcPattern uint8
+
+const (
+	fpcZeroRun  fpcPattern = iota // run of up to 8 zero words (3-bit run length)
+	fpcSE4                        // 4-bit sign-extended
+	fpcSE8                        // one byte sign-extended
+	fpcSE16                       // halfword sign-extended
+	fpcHalfPad                    // halfword padded with zero halfword (low half zero)
+	fpcTwoSE8                     // two halfwords, each a sign-extended byte
+	fpcRepBytes                   // word of four repeated bytes
+	fpcUncompressed
+)
+
+// payload bits for each pattern (excluding the 3-bit prefix).
+func (p fpcPattern) payloadBits() int {
+	switch p {
+	case fpcZeroRun:
+		return 3
+	case fpcSE4:
+		return 4
+	case fpcSE8:
+		return 8
+	case fpcSE16:
+		return 16
+	case fpcHalfPad:
+		return 16
+	case fpcTwoSE8:
+		return 16
+	case fpcRepBytes:
+		return 8
+	default:
+		return 32
+	}
+}
+
+func seFits(v uint32, bits uint) bool {
+	s := int32(v)
+	limit := int32(1) << (bits - 1)
+	return s >= -limit && s < limit
+}
+
+// se8Fits16 reports whether the halfword, read as a signed 16-bit value, is
+// the sign extension of its low byte.
+func se8Fits16(h uint16) bool {
+	s := int16(h)
+	return s >= -128 && s < 128
+}
+
+func fpcClassify(w uint32) fpcPattern {
+	switch {
+	case w == 0:
+		return fpcZeroRun
+	case seFits(w, 4):
+		return fpcSE4
+	case seFits(w, 8):
+		return fpcSE8
+	case seFits(w, 16):
+		return fpcSE16
+	case w&0xFFFF == 0: // meaningful upper half, zero lower half
+		return fpcHalfPad
+	case se8Fits16(uint16(w)) && se8Fits16(uint16(w>>16)):
+		return fpcTwoSE8
+	case byte(w) == byte(w>>8) && byte(w) == byte(w>>16) && byte(w) == byte(w>>24):
+		return fpcRepBytes
+	default:
+		return fpcUncompressed
+	}
+}
+
+// FPCSizeBits returns the exact bit-packed FPC size of a block, including
+// 3-bit prefixes and zero-run coalescing.
+func FPCSizeBits(block []byte) int {
+	bits := 0
+	zeroRun := 0
+	flush := func() {
+		for zeroRun > 0 {
+			bits += 3 + 3
+			zeroRun -= 8
+		}
+		zeroRun = 0
+	}
+	for off := 0; off+4 <= len(block); off += 4 {
+		w := binary.LittleEndian.Uint32(block[off:])
+		p := fpcClassify(w)
+		if p == fpcZeroRun {
+			zeroRun++
+			continue
+		}
+		flush()
+		bits += 3 + p.payloadBits()
+	}
+	flush()
+	return bits
+}
+
+// FPCSize returns the byte-rounded compressed size of a block under
+// bit-packed FPC.
+func FPCSize(block []byte) int {
+	return (FPCSizeBits(block) + 7) / 8
+}
+
+// FPCCompress encodes a block with byte-aligned FPC framing: each element is
+// one pattern byte followed by its payload rounded up to whole bytes.
+func FPCCompress(block []byte) ([]byte, error) {
+	if len(block)%4 != 0 {
+		return nil, fmt.Errorf("comp: FPC input must be a multiple of 4 bytes, got %d", len(block))
+	}
+	out := make([]byte, 0, len(block)/2)
+	zeroRun := 0
+	flush := func() {
+		for zeroRun > 0 {
+			n := zeroRun
+			if n > 8 {
+				n = 8
+			}
+			out = append(out, byte(fpcZeroRun), byte(n))
+			zeroRun -= n
+		}
+	}
+	for off := 0; off+4 <= len(block); off += 4 {
+		w := binary.LittleEndian.Uint32(block[off:])
+		p := fpcClassify(w)
+		if p == fpcZeroRun {
+			zeroRun++
+			continue
+		}
+		flush()
+		out = append(out, byte(p))
+		switch p {
+		case fpcSE4, fpcSE8, fpcRepBytes:
+			out = append(out, byte(w))
+		case fpcSE16, fpcHalfPad, fpcTwoSE8:
+			var hw uint16
+			switch p {
+			case fpcSE16:
+				hw = uint16(w)
+			case fpcHalfPad:
+				hw = uint16(w >> 16)
+			case fpcTwoSE8:
+				hw = uint16(w&0xFF) | uint16(w>>16&0xFF)<<8
+			}
+			out = append(out, byte(hw), byte(hw>>8))
+		default:
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], w)
+			out = append(out, b[:]...)
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// FPCDecompress reverses FPCCompress. The caller supplies the original
+// (uncompressed) length, which the on-DRAM format keeps in page metadata.
+func FPCDecompress(data []byte, origLen int) ([]byte, error) {
+	if origLen%4 != 0 {
+		return nil, fmt.Errorf("comp: FPC original length must be a multiple of 4, got %d", origLen)
+	}
+	out := make([]byte, 0, origLen)
+	i := 0
+	for i < len(data) {
+		p := fpcPattern(data[i])
+		i++
+		var w uint32
+		switch p {
+		case fpcZeroRun:
+			if i >= len(data) {
+				return nil, errors.New("comp: truncated FPC zero run")
+			}
+			n := int(data[i])
+			i++
+			for k := 0; k < n; k++ {
+				out = append(out, 0, 0, 0, 0)
+			}
+			continue
+		case fpcSE4, fpcSE8:
+			if i >= len(data) {
+				return nil, errors.New("comp: truncated FPC SE byte")
+			}
+			w = uint32(int32(int8(data[i])))
+			i++
+		case fpcRepBytes:
+			if i >= len(data) {
+				return nil, errors.New("comp: truncated FPC repeated byte")
+			}
+			b := uint32(data[i])
+			i++
+			w = b | b<<8 | b<<16 | b<<24
+		case fpcSE16, fpcHalfPad, fpcTwoSE8:
+			if i+2 > len(data) {
+				return nil, errors.New("comp: truncated FPC halfword")
+			}
+			hw := uint16(data[i]) | uint16(data[i+1])<<8
+			i += 2
+			switch p {
+			case fpcSE16:
+				w = uint32(int32(int16(hw)))
+			case fpcHalfPad:
+				w = uint32(hw) << 16
+			case fpcTwoSE8:
+				lo := uint32(int32(int8(byte(hw)))) & 0xFFFF
+				hi := uint32(int32(int8(byte(hw>>8)))) & 0xFFFF
+				w = lo | hi<<16
+			}
+		case fpcUncompressed:
+			if i+4 > len(data) {
+				return nil, errors.New("comp: truncated FPC word")
+			}
+			w = binary.LittleEndian.Uint32(data[i:])
+			i += 4
+		default:
+			return nil, fmt.Errorf("comp: unknown FPC pattern %d", p)
+		}
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], w)
+		out = append(out, b[:]...)
+	}
+	if len(out) != origLen {
+		return nil, fmt.Errorf("comp: FPC decompressed to %d bytes, want %d", len(out), origLen)
+	}
+	return out, nil
+}

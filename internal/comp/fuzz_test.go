@@ -1,0 +1,108 @@
+package comp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets for every codec. Under plain `go test` only the seed
+// corpus runs; `go test -fuzz=FuzzLZRoundTrip ./internal/comp` explores.
+
+func FuzzBDIRoundTrip(f *testing.F) {
+	f.Add(make([]byte, BlockSize))
+	seed := make([]byte, BlockSize)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != BlockSize {
+			return
+		}
+		c, err := BDICompress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) > BlockSize+1 {
+			t.Fatalf("BDI expansion bound violated: %d", len(c))
+		}
+		d, err := BDIDecompress(c)
+		if err != nil || !bytes.Equal(d, data) {
+			t.Fatalf("roundtrip failed: %v", err)
+		}
+	})
+}
+
+func FuzzFPCRoundTrip(f *testing.F) {
+	f.Add(make([]byte, BlockSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data)%4 != 0 || len(data) == 0 || len(data) > 4096 {
+			return
+		}
+		c, err := FPCCompress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := FPCDecompress(c, len(data))
+		if err != nil || !bytes.Equal(d, data) {
+			t.Fatalf("roundtrip failed: %v", err)
+		}
+	})
+}
+
+func FuzzFPCDecompressNeverPanics(f *testing.F) {
+	f.Add([]byte{0x00, 0x08}, 32)
+	f.Add([]byte{0xFF}, 4)
+	f.Fuzz(func(t *testing.T, data []byte, origLen int) {
+		if origLen < 0 || origLen > 1<<16 {
+			return
+		}
+		// Corrupt streams must error, never panic or hang.
+		_, _ = FPCDecompress(data, origLen)
+	})
+}
+
+func FuzzLZRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(bytes.Repeat([]byte("abcd"), 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		c := LZCompress(data)
+		d, err := LZDecompress(c, len(data))
+		if err != nil || !bytes.Equal(d, data) {
+			t.Fatalf("roundtrip failed: %v", err)
+		}
+	})
+}
+
+func FuzzLZDecompressNeverPanics(f *testing.F) {
+	f.Add([]byte{0x10, 0x01, 0x00}, 8)
+	f.Fuzz(func(t *testing.T, data []byte, origLen int) {
+		if origLen < 0 || origLen > 1<<16 {
+			return
+		}
+		_, _ = LZDecompress(data, origLen)
+	})
+}
+
+func FuzzPageRoundTrip(f *testing.F) {
+	f.Add(make([]byte, PageSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != PageSize {
+			return
+		}
+		c, err := CompressPage(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) > PageSize+3 {
+			t.Fatalf("page expansion bound violated: %d", len(c))
+		}
+		d, err := DecompressPage(c)
+		if err != nil || !bytes.Equal(d, data) {
+			t.Fatalf("roundtrip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package comp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// LZ is a from-scratch LZ77-class byte compressor standing in for the
+// paper's DEFLATE ASIC at page granularity. It uses a 4-byte-hash match
+// table over a 4KB window with greedy parsing and a token stream of
+// literals runs and (length, distance) copies:
+//
+//	token byte L|D nibbles:
+//	  0x0L: literal run of L+1 bytes follow (L in 0..14); 0x0F: extended
+//	        run: next byte holds (len-16), then bytes
+//	  0xCH: copy: high nibble >= 1: length = high nibble + 3 (4..18),
+//	        next 2 bytes little-endian distance (1..65535); high nibble
+//	        0xF extends: next byte holds extra length
+//
+// The format favours simplicity and deterministic sizing over ratio; on
+// page-sized inputs of typical memory content it compresses between BDI/FPC
+// block packing and real DEFLATE.
+const lzMinMatch = 4
+
+// LZCompress compresses src. The output is never larger than
+// len(src) + len(src)/15 + 16.
+func LZCompress(src []byte) []byte {
+	var table [1 << 12]int32
+	for i := range table {
+		table[i] = -1
+	}
+	out := make([]byte, 0, len(src)/2+16)
+	litStart := 0
+	i := 0
+
+	flushLits := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > 15 {
+				run := n - 16
+				if run > 255 {
+					run = 255
+				}
+				out = append(out, 0x0F, byte(run))
+				out = append(out, src[litStart:litStart+run+16]...)
+				litStart += run + 16
+				continue
+			}
+			out = append(out, byte(n-1))
+			out = append(out, src[litStart:end]...)
+			litStart = end
+		}
+	}
+
+	hash := func(p int) uint32 {
+		v := binary.LittleEndian.Uint32(src[p:])
+		return (v * 2654435761) >> 20
+	}
+
+	for i+lzMinMatch <= len(src) {
+		h := hash(i)
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) < 65536 &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			// Extend the match.
+			length := lzMinMatch
+			for i+length < len(src) && src[int(cand)+length] == src[i+length] {
+				length++
+			}
+			flushLits(i)
+			dist := i - int(cand)
+			rem := length
+			for rem >= lzMinMatch {
+				n := rem
+				if n > 18 {
+					if n > 18+255 {
+						n = 18 + 255
+					}
+					out = append(out, 0xFF, byte(n-19)) // extended copy
+				} else {
+					out = append(out, byte(n-3)<<4) // hi nibble: length-3
+				}
+				var d [2]byte
+				binary.LittleEndian.PutUint16(d[:], uint16(dist))
+				out = append(out, d[0], d[1])
+				rem -= n
+			}
+			// Shorter-than-min tail becomes literals.
+			i += length - rem
+			litStart = i
+			i += rem
+			continue
+		}
+		i++
+	}
+	flushLits(len(src))
+	return out
+}
+
+// LZDecompress reverses LZCompress given the original length.
+func LZDecompress(data []byte, origLen int) ([]byte, error) {
+	out := make([]byte, 0, origLen)
+	i := 0
+	for i < len(data) {
+		tok := data[i]
+		i++
+		hi := tok >> 4
+		switch {
+		case hi == 0: // literal run
+			n := int(tok&0x0F) + 1
+			if tok&0x0F == 0x0F {
+				if i >= len(data) {
+					return nil, errors.New("comp: truncated LZ literal extension")
+				}
+				n = int(data[i]) + 16
+				i++
+			}
+			if i+n > len(data) {
+				return nil, errors.New("comp: truncated LZ literals")
+			}
+			out = append(out, data[i:i+n]...)
+			i += n
+		default: // copy
+			length := int(hi) + 3
+			if tok == 0xFF {
+				if i >= len(data) {
+					return nil, errors.New("comp: truncated LZ copy extension")
+				}
+				length = int(data[i]) + 19
+				i++
+			}
+			if i+2 > len(data) {
+				return nil, errors.New("comp: truncated LZ distance")
+			}
+			dist := int(binary.LittleEndian.Uint16(data[i:]))
+			i += 2
+			if dist == 0 || dist > len(out) {
+				return nil, fmt.Errorf("comp: LZ distance %d out of range (have %d)", dist, len(out))
+			}
+			for k := 0; k < length; k++ {
+				out = append(out, out[len(out)-dist])
+			}
+		}
+	}
+	if len(out) != origLen {
+		return nil, fmt.Errorf("comp: LZ decompressed to %d bytes, want %d", len(out), origLen)
+	}
+	return out, nil
+}

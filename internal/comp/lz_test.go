@@ -1,0 +1,126 @@
+package comp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLZEmpty(t *testing.T) {
+	c := LZCompress(nil)
+	d, err := LZDecompress(c, 0)
+	if err != nil || len(d) != 0 {
+		t.Fatalf("empty roundtrip: %v, %d bytes", err, len(d))
+	}
+}
+
+func TestLZAllZeros(t *testing.T) {
+	src := make([]byte, 4096)
+	c := LZCompress(src)
+	if len(c) > 64 {
+		t.Fatalf("zero page compressed to %d bytes, want tiny", len(c))
+	}
+	d, err := LZDecompress(c, len(src))
+	if err != nil || !bytes.Equal(d, src) {
+		t.Fatal("zero page roundtrip failed")
+	}
+}
+
+func TestLZRepetitiveText(t *testing.T) {
+	src := bytes.Repeat([]byte("compressed memory translation "), 100)
+	c := LZCompress(src)
+	if len(c) >= len(src)/4 {
+		t.Fatalf("repetitive text: %d -> %d, expected >4x", len(src), len(c))
+	}
+	d, err := LZDecompress(c, len(src))
+	if err != nil || !bytes.Equal(d, src) {
+		t.Fatal("text roundtrip failed")
+	}
+}
+
+func TestLZRandomIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := make([]byte, 4096)
+	rng.Read(src)
+	c := LZCompress(src)
+	// Bounded expansion.
+	if len(c) > len(src)+len(src)/15+16 {
+		t.Fatalf("expansion bound violated: %d -> %d", len(src), len(c))
+	}
+	d, err := LZDecompress(c, len(src))
+	if err != nil || !bytes.Equal(d, src) {
+		t.Fatal("random roundtrip failed")
+	}
+}
+
+func TestLZOverlappingCopies(t *testing.T) {
+	// RLE-style: a,a,a,... exercises dist < length overlap copying.
+	src := append([]byte{'x'}, bytes.Repeat([]byte{'a'}, 1000)...)
+	c := LZCompress(src)
+	d, err := LZDecompress(c, len(src))
+	if err != nil || !bytes.Equal(d, src) {
+		t.Fatal("overlap roundtrip failed")
+	}
+	if len(c) > 40 {
+		t.Fatalf("RLE content compressed to %d bytes", len(c))
+	}
+}
+
+func TestLZCorruptInputs(t *testing.T) {
+	cases := [][]byte{
+		{0x0F},             // literal extension missing
+		{0x03, 'a'},        // literal run truncated
+		{0x10},             // copy distance missing
+		{0xFF},             // copy extension missing
+		{0x10, 0x00, 0x00}, // zero distance
+		{0x10, 0xFF, 0x7F}, // distance beyond output
+	}
+	for i, c := range cases {
+		if _, err := LZDecompress(c, 1<<20); err == nil {
+			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+// Property: LZ round-trips arbitrary byte strings.
+func TestPropertyLZRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		c := LZCompress(src)
+		d, err := LZDecompress(c, len(src))
+		return err == nil && bytes.Equal(d, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: structured (compressible) content compresses, with page-level
+// ratios in the range the size model assumes.
+func TestPropertyLZCompressesStructured(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		page := make([]byte, PageSize)
+		for b := 0; b < PageSize/BlockSize; b++ {
+			copy(page[b*BlockSize:], randomishBlock(rng, rng.Intn(4)+1)) // skip pure random
+		}
+		c := LZCompress(page)
+		return len(c) < PageSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLZCompressPage(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	page := make([]byte, PageSize)
+	for blk := 0; blk < PageSize/BlockSize; blk++ {
+		copy(page[blk*BlockSize:], randomishBlock(rng, blk%5))
+	}
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LZCompress(page)
+	}
+}

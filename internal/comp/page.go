@@ -1,0 +1,150 @@
+package comp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dylect/internal/engine"
+)
+
+// PageSize is the OS page granularity the paper compresses at.
+const PageSize = 4096
+
+// ChunkAlign is the size-class granularity of the irregular free lists: a
+// compressed page occupies its size rounded up to this alignment, mirroring
+// TMCC's per-size free lists (Section II-B).
+const ChunkAlign = 256
+
+// RoundChunk rounds a compressed size up to its size class, clamped to a
+// full page.
+func RoundChunk(size int) int {
+	if size <= 0 {
+		return ChunkAlign
+	}
+	r := (size + ChunkAlign - 1) / ChunkAlign * ChunkAlign
+	if r > PageSize {
+		return PageSize
+	}
+	return r
+}
+
+// NumChunkClasses is the number of distinct compressed size classes.
+const NumChunkClasses = PageSize / ChunkAlign
+
+// ChunkClass returns the 0-based size-class index of a rounded chunk size.
+func ChunkClass(rounded int) int {
+	return rounded/ChunkAlign - 1
+}
+
+// CompressPage compresses a 4KB page block by block using the cheaper of
+// BDI and FPC per block (1 tag byte + payload each), the way page-granularity
+// hardware compressors pack lines. The result layout is:
+//
+//	[1B format][2B original length][per block: 1B tag, payload]
+//
+// where block tag 0 means BDI and 1 means FPC. Incompressible pages fall
+// back to raw storage (format 1), bounding the output at PageSize+3 bytes.
+func CompressPage(page []byte) ([]byte, error) {
+	if len(page) != PageSize {
+		return nil, fmt.Errorf("comp: page must be %d bytes, got %d", PageSize, len(page))
+	}
+	out := make([]byte, 3, PageSize/2)
+	out[0] = 0 // packed
+	binary.LittleEndian.PutUint16(out[1:], uint16(PageSize/BlockSize))
+	for off := 0; off < PageSize; off += BlockSize {
+		block := page[off : off+BlockSize]
+		bdi, err := BDICompress(block)
+		if err != nil {
+			return nil, err
+		}
+		fpc, err := FPCCompress(block)
+		if err != nil {
+			return nil, err
+		}
+		if len(bdi) <= len(fpc) {
+			out = append(out, 0, byte(len(bdi)), byte(len(bdi)>>8))
+			out = append(out, bdi...)
+		} else {
+			out = append(out, 1, byte(len(fpc)), byte(len(fpc)>>8))
+			out = append(out, fpc...)
+		}
+	}
+	if len(out) >= PageSize+3 {
+		// Incompressible: store raw.
+		raw := make([]byte, 3, PageSize+3)
+		raw[0] = 1
+		binary.LittleEndian.PutUint16(raw[1:], uint16(PageSize/BlockSize))
+		return append(raw, page...), nil
+	}
+	return out, nil
+}
+
+// DecompressPage reverses CompressPage.
+func DecompressPage(data []byte) ([]byte, error) {
+	if len(data) < 3 {
+		return nil, errors.New("comp: truncated compressed page")
+	}
+	format := data[0]
+	nBlocks := int(binary.LittleEndian.Uint16(data[1:]))
+	data = data[3:]
+	if format == 1 {
+		if len(data) != nBlocks*BlockSize {
+			return nil, fmt.Errorf("comp: raw page has %d bytes, want %d", len(data), nBlocks*BlockSize)
+		}
+		return append([]byte(nil), data...), nil
+	}
+	if format != 0 {
+		return nil, fmt.Errorf("comp: unknown page format %d", format)
+	}
+	page := make([]byte, 0, nBlocks*BlockSize)
+	for b := 0; b < nBlocks; b++ {
+		if len(data) < 3 {
+			return nil, errors.New("comp: truncated block header")
+		}
+		alg := data[0]
+		n := int(data[1]) | int(data[2])<<8
+		data = data[3:]
+		if len(data) < n {
+			return nil, errors.New("comp: truncated block payload")
+		}
+		var (
+			block []byte
+			err   error
+		)
+		switch alg {
+		case 0:
+			block, err = BDIDecompress(data[:n])
+		case 1:
+			block, err = FPCDecompress(data[:n], BlockSize)
+		default:
+			return nil, fmt.Errorf("comp: unknown block algorithm %d", alg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		page = append(page, block...)
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("comp: %d trailing bytes after page", len(data))
+	}
+	return page, nil
+}
+
+// Latency models the paper's DEFLATE ASIC: 280ns to compress or decompress a
+// 4KB page, scaling linearly with granularity (Section III-B computes 2MB
+// decompression as 512 x 280ns).
+type Latency struct {
+	// Per4K is the (de)compression latency for one 4KB page.
+	Per4K engine.Time
+}
+
+// DefaultLatency is the paper's ASIC model.
+var DefaultLatency = Latency{Per4K: 280 * engine.Nanosecond}
+
+// For returns the latency to (de)compress `bytes` of data.
+func (l Latency) For(bytes uint64) engine.Time {
+	pages := (bytes + PageSize - 1) / PageSize
+	return engine.Time(pages) * l.Per4K
+}

@@ -1,0 +1,127 @@
+package comp
+
+import "math"
+
+// SizeModel deterministically assigns a compressed size to every OS page of
+// a workload. The simulator keeps no page contents for the multi-gigabyte
+// footprints it models; instead each page's compressibility is a pure
+// function of (seed, page number), drawn from a mixture distribution shaped
+// like measured page-granularity compression: a fraction of incompressible
+// pages plus a skewed body whose mean hits the workload's target ratio
+// (TMCC/DyLeCT report 3.4x when everything is compressed, Table 1).
+type SizeModel struct {
+	seed uint64
+	// incompressibleFrac is the probability a page stays at 4KB.
+	incompressibleFrac float64
+	// shape skews the body of the distribution; higher = more compressible.
+	shape float64
+	// minSize floors the compressed size (metadata + residual entropy).
+	minSize int
+}
+
+// NewSizeModel builds a model targeting the given average compression ratio
+// (original/compressed) over all pages. Supported targets are roughly
+// 1.2x-6x; the incompressible fraction is fixed at 5% and the body shape is
+// solved analytically from the target mean.
+func NewSizeModel(seed uint64, targetRatio float64) *SizeModel {
+	if targetRatio < 1.05 {
+		targetRatio = 1.05
+	}
+	m := &SizeModel{seed: seed, incompressibleFrac: 0.05, minSize: ChunkAlign}
+	// mean = inc*4096 + (1-inc)*(min + E[u^shape]*(4096-min))
+	// E[u^shape] = 1/(shape+1); solve for shape.
+	want := float64(PageSize) / targetRatio
+	body := (want - m.incompressibleFrac*float64(PageSize)) / (1 - m.incompressibleFrac)
+	frac := (body - float64(m.minSize)) / float64(PageSize-m.minSize)
+	if frac <= 0.01 {
+		frac = 0.01
+	}
+	if frac >= 1 {
+		frac = 0.99
+	}
+	m.shape = 1/frac - 1
+	return m
+}
+
+// mix64 is SplitMix64, a high-quality deterministic bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// uniform returns a deterministic uniform in [0,1) for (seed, page, salt).
+func (m *SizeModel) uniform(page uint64, salt uint64) float64 {
+	h := mix64(m.seed ^ mix64(page*2654435761+salt))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// CompressedSize returns the exact compressed size in bytes for a page.
+func (m *SizeModel) CompressedSize(page uint64) int {
+	if m.uniform(page, 0xA11CE) < m.incompressibleFrac {
+		return PageSize
+	}
+	u := m.uniform(page, 0xB0B)
+	body := math.Pow(u, m.shape)
+	size := float64(m.minSize) + body*float64(PageSize-m.minSize)
+	s := int(size)
+	if s < m.minSize {
+		s = m.minSize
+	}
+	if s > PageSize {
+		s = PageSize
+	}
+	return s
+}
+
+// ChunkSize returns the size-class-rounded footprint of the page when
+// compressed; PageSize means the page does not benefit from compression.
+func (m *SizeModel) ChunkSize(page uint64) int {
+	return RoundChunk(m.CompressedSize(page))
+}
+
+// MeanRatio empirically measures the model's average compression ratio over
+// the first n pages (used by tests and for reporting Table 1's ratio).
+func (m *SizeModel) MeanRatio(n uint64) float64 {
+	var total uint64
+	for p := uint64(0); p < n; p++ {
+		total += uint64(m.CompressedSize(p))
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(n*PageSize) / float64(total)
+}
+
+// ClassHistogram returns how many of the first n pages fall into each chunk
+// size class — the distribution the free-space manager's size-class lists
+// will see.
+func (m *SizeModel) ClassHistogram(n uint64) [NumChunkClasses]uint64 {
+	var h [NumChunkClasses]uint64
+	for p := uint64(0); p < n; p++ {
+		h[ChunkClass(m.ChunkSize(p))]++
+	}
+	return h
+}
+
+// Percentile returns the approximate q-quantile (0 < q <= 1) of compressed
+// sizes over the first n pages.
+func (m *SizeModel) Percentile(q float64, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	h := m.ClassHistogram(n)
+	target := uint64(q * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for class, count := range h {
+		cum += count
+		if cum >= target {
+			return (class + 1) * ChunkAlign
+		}
+	}
+	return PageSize
+}

@@ -1,0 +1,520 @@
+// Package dram models a DDR4 main-memory subsystem at bank/row granularity:
+// per-bank row-buffer state, an FR-FCFS scheduler with a row-hit streak cap
+// and bank fairness, a shared per-channel data bus, rank-level refresh, and a
+// DRAMPower-style energy model. It stands in for Ramulator + DRAMPower in the
+// paper's methodology (Table 3: DDR4-3200, 1 channel, 8 ranks, FR-FCFS with
+// bank fairness and row buffer hit cap, tCL = tRCD = tRP = 13.75ns).
+//
+// The memory controller addresses DRAM with scalar machine-physical
+// addresses; Config.Decode applies the same static mapping a conventional
+// system uses to split a physical address into channel/rank/bank/row/column.
+package dram
+
+import (
+	"fmt"
+
+	"dylect/internal/engine"
+	"dylect/internal/stats"
+)
+
+// Class labels the purpose of a DRAM request so the harness can split
+// memory traffic the way Figure 23 does.
+type Class int
+
+// Traffic classes.
+const (
+	ClassDemand    Class = iota // LLC miss / writeback data
+	ClassCTE                    // CTE table block fetches
+	ClassMigration              // page expansion / promotion / demotion movement
+	ClassWalk                   // page table walker accesses
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassDemand:
+		return "demand"
+	case ClassCTE:
+		return "cte"
+	case ClassMigration:
+		return "migration"
+	case ClassWalk:
+		return "walk"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Request is one 64-byte DRAM access.
+type Request struct {
+	// Addr is the machine-physical byte address; only the block (64B) it
+	// falls in matters.
+	Addr uint64
+	// Write selects a write burst instead of a read burst.
+	Write bool
+	// Class labels the traffic for accounting.
+	Class Class
+	// Background requests (asynchronous compression, migrations) lose
+	// scheduling ties against foreground requests.
+	Background bool
+	// Done, if non-nil, runs when the data burst completes.
+	Done func(now engine.Time)
+
+	enq engine.Time
+	loc location
+}
+
+type location struct {
+	channel int
+	rank    int
+	bank    int // global bank index within channel (rank*banksPerRank+bank)
+	row     uint64
+}
+
+// Config describes the DRAM organization and timing.
+type Config struct {
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	RowsPerBank     uint64
+	RowBytes        uint64 // row buffer size per bank
+
+	TCK    engine.Time // DRAM clock period
+	TCL    engine.Time // CAS latency
+	TRCD   engine.Time // RAS-to-CAS
+	TRP    engine.Time // precharge
+	TBurst engine.Time // 64B data burst occupancy on the bus
+	TRFC   engine.Time // refresh cycle time
+	TREFI  engine.Time // refresh interval per rank
+
+	RowHitCap int // max consecutive row hits served before yielding (FR-FCFS cap)
+
+	// QueueWindow bounds how many queued requests the scheduler considers
+	// per decision (real FR-FCFS schedulers reorder within a finite
+	// window; this also bounds scheduling cost when the queue is deep).
+	QueueWindow int
+
+	// Energy model (DRAMPower substitute).
+	ActEnergyPJ        float64 // per activate (incl. precharge)
+	BurstEnergyPJ      float64 // per 64B read or write burst
+	RefreshPowerMWRank float64 // refresh power per rank, milliwatts
+	StandbyPowerMWRank float64 // background/standby power per rank, milliwatts
+}
+
+// DDR4 returns the DDR4-3200 configuration from Table 3 with the given
+// channel/rank count. Row buffer is 8KB, 16 banks/rank, capacity follows
+// from RowsPerBank.
+func DDR4(channels, ranks int, rowsPerBank uint64) Config {
+	tck := 625 * engine.Picosecond // 1600MHz clock, 3200MT/s
+	return Config{
+		Channels:        channels,
+		RanksPerChannel: ranks,
+		BanksPerRank:    16,
+		RowsPerBank:     rowsPerBank,
+		RowBytes:        8 << 10,
+		TCK:             tck,
+		TCL:             13750 * engine.Picosecond,
+		TRCD:            13750 * engine.Picosecond,
+		TRP:             13750 * engine.Picosecond,
+		TBurst:          4 * tck, // BL8 on a 64-bit bus
+		TRFC:            350 * engine.Nanosecond,
+		TREFI:           7800 * engine.Nanosecond,
+		RowHitCap:       4,
+		QueueWindow:     64,
+
+		ActEnergyPJ:        22000, // ~22nJ per ACT+PRE across a rank
+		BurstEnergyPJ:      13000, // ~13nJ per 64B burst
+		RefreshPowerMWRank: 60,
+		StandbyPowerMWRank: 320,
+	}
+}
+
+// TotalBytes returns the DRAM capacity implied by the configuration.
+func (c Config) TotalBytes() uint64 {
+	return uint64(c.Channels) * uint64(c.RanksPerChannel) * uint64(c.BanksPerRank) *
+		c.RowsPerBank * c.RowBytes
+}
+
+// Decode splits a machine-physical address into its DRAM location using the
+// static mapping: column bits low (row-buffer locality for sequential
+// blocks), then bank, then rank, then row; channels interleave at row
+// granularity so a 4KB page stays within one channel's row.
+func (c Config) Decode(addr uint64) location {
+	block := addr / c.RowBytes // row-sized units
+	var loc location
+	loc.channel = int(block % uint64(c.Channels))
+	block /= uint64(c.Channels)
+	loc.bank = int(block % uint64(c.BanksPerRank))
+	block /= uint64(c.BanksPerRank)
+	loc.rank = int(block % uint64(c.RanksPerChannel))
+	block /= uint64(c.RanksPerChannel)
+	loc.row = block % c.RowsPerBank
+	loc.bank += loc.rank * c.BanksPerRank
+	return loc
+}
+
+// Stats aggregates DRAM activity over a run.
+type Stats struct {
+	Reads       stats.Counter
+	Writes      stats.Counter
+	Activates   stats.Counter
+	RowHits     stats.Counter
+	RowMisses   stats.Counter
+	RowClosed   stats.Counter
+	ClassBursts [numClasses]stats.Counter
+	BusBusy     engine.Time
+	Latency     stats.Accumulator // enqueue-to-data-complete, ns
+	QueuePeak   int
+}
+
+// Bursts returns the total number of data bursts served.
+func (s *Stats) Bursts() uint64 { return s.Reads.Value() + s.Writes.Value() }
+
+// ClassBytes returns bytes moved for a traffic class.
+func (s *Stats) ClassBytes(c Class) uint64 { return s.ClassBursts[c].Value() * 64 }
+
+// TotalBytes returns all bytes moved.
+func (s *Stats) TotalBytes() uint64 { return s.Bursts() * 64 }
+
+// Utilization returns the fraction of elapsed time the data bus was busy.
+func (s *Stats) Utilization(elapsed engine.Time) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(s.BusBusy) / float64(elapsed)
+}
+
+// EnergyPJ returns total DRAM energy in picojoules over the elapsed window:
+// dynamic (ACT + bursts) plus background and refresh power integrated over
+// time for every rank in the system.
+func (s *Stats) EnergyPJ(cfg Config, elapsed engine.Time) float64 {
+	dynamic := float64(s.Activates.Value())*cfg.ActEnergyPJ +
+		float64(s.Bursts())*cfg.BurstEnergyPJ
+	ranks := float64(cfg.Channels * cfg.RanksPerChannel)
+	// mW * ns = pJ
+	static := (cfg.RefreshPowerMWRank + cfg.StandbyPowerMWRank) * ranks *
+		(float64(elapsed) / float64(engine.Nanosecond))
+	return dynamic + static
+}
+
+type bank struct {
+	openRow   int64 // -1 when closed
+	readyAt   engine.Time
+	hitStreak int
+}
+
+// reqQueue is one scheduling queue with lazy removal.
+type reqQueue struct {
+	queue []*Request // issued entries are nilled; head skips them
+	head  int
+	live  int
+}
+
+func (q *reqQueue) push(r *Request) {
+	q.queue = append(q.queue, r)
+	q.live++
+}
+
+// forEachPending visits up to `window` live requests in FCFS order, passing
+// their absolute queue positions. Visiting stops early if f returns false.
+func (q *reqQueue) forEachPending(window int, f func(pos int, r *Request) bool) {
+	count := 0
+	for i := q.head; i < len(q.queue); i++ {
+		r := q.queue[i]
+		if r == nil {
+			continue
+		}
+		if !f(i, r) {
+			return
+		}
+		count++
+		if window > 0 && count >= window {
+			return
+		}
+	}
+}
+
+// remove nils the request at absolute queue position pos and
+// advances/compacts the head.
+func (q *reqQueue) remove(pos int) {
+	q.queue[pos] = nil
+	q.live--
+	for q.head < len(q.queue) && q.queue[q.head] == nil {
+		q.head++
+	}
+	if q.head > 4096 && q.head*2 > len(q.queue) {
+		n := copy(q.queue, q.queue[q.head:])
+		for j := n; j < len(q.queue); j++ {
+			q.queue[j] = nil
+		}
+		q.queue = q.queue[:n]
+		q.head = 0
+	}
+}
+
+// channel keeps demand traffic and background maintenance traffic
+// (migrations, background compression) in separate queues: background
+// requests issue only when no foreground request is serviceable, so a long
+// page-movement train cannot crowd demand out of the scheduling window.
+type channel struct {
+	fg        reqQueue
+	bg        reqQueue
+	banks     []bank
+	busFree   engine.Time
+	refreshAt []engine.Time // per rank: banks blocked until this time
+	lastBank  int           // round-robin origin for bank fairness
+
+	// Exactly one service wake-up is live per channel: armed/wakeAt track
+	// it and wakeGen invalidates superseded ones (an earlier kick replaces
+	// a later retry).
+	armed   bool
+	wakeAt  engine.Time
+	wakeGen uint64
+}
+
+func (ch *channel) live() int { return ch.fg.live + ch.bg.live }
+
+// Controller is the DRAM memory device model: it accepts Requests and
+// completes them according to bank timing, bus occupancy and scheduling
+// policy. All the compressed-memory machinery (package mc and above) sits in
+// front of it.
+type Controller struct {
+	eng   *engine.Engine
+	cfg   Config
+	chans []*channel
+	stats Stats
+}
+
+// NewController builds a controller on the given engine.
+func NewController(eng *engine.Engine, cfg Config) *Controller {
+	c := &Controller{eng: eng, cfg: cfg}
+	c.chans = make([]*channel, cfg.Channels)
+	for i := range c.chans {
+		ch := &channel{
+			banks:     make([]bank, cfg.RanksPerChannel*cfg.BanksPerRank),
+			refreshAt: make([]engine.Time, cfg.RanksPerChannel),
+		}
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		c.chans[i] = ch
+	}
+	return c
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats exposes the accumulated statistics.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// ResetStats zeroes the statistics (used when the timed window begins after
+// functional warmup).
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// StartRefresh schedules periodic per-rank refresh up to the horizon.
+// Refresh closes all rows in the rank and blocks its banks for tRFC.
+func (c *Controller) StartRefresh(horizon engine.Time) {
+	for ci, ch := range c.chans {
+		for r := 0; r < c.cfg.RanksPerChannel; r++ {
+			ci, ch, r := ci, ch, r
+			var tick func()
+			tick = func() {
+				now := c.eng.Now()
+				ch.refreshAt[r] = now + c.cfg.TRFC
+				base := r * c.cfg.BanksPerRank
+				for b := 0; b < c.cfg.BanksPerRank; b++ {
+					bk := &ch.banks[base+b]
+					bk.openRow = -1
+					if bk.readyAt < ch.refreshAt[r] {
+						bk.readyAt = ch.refreshAt[r]
+					}
+				}
+				if now+c.cfg.TREFI <= horizon {
+					c.eng.Schedule(c.cfg.TREFI, tick)
+				}
+				c.kick(ci)
+			}
+			c.eng.Schedule(c.cfg.TREFI, tick)
+		}
+	}
+}
+
+// Submit enqueues a request. The Done callback fires when its data burst
+// finishes.
+func (c *Controller) Submit(req *Request) {
+	req.enq = c.eng.Now()
+	req.loc = c.cfg.Decode(req.Addr)
+	ch := c.chans[req.loc.channel]
+	if req.Background {
+		ch.bg.push(req)
+	} else {
+		ch.fg.push(req)
+	}
+	if ch.live() > c.stats.QueuePeak {
+		c.stats.QueuePeak = ch.live()
+	}
+	c.kick(req.loc.channel)
+}
+
+func (c *Controller) kick(ci int) {
+	c.armService(ci, c.eng.Now())
+}
+
+// armService schedules the channel's next service pass at `at`, keeping at
+// most one live wake-up per channel (an earlier wake supersedes a later
+// one; stale events check the generation and bail).
+func (c *Controller) armService(ci int, at engine.Time) {
+	ch := c.chans[ci]
+	if ch.armed && ch.wakeAt <= at {
+		return
+	}
+	ch.armed = true
+	ch.wakeAt = at
+	ch.wakeGen++
+	gen := ch.wakeGen
+	c.eng.ScheduleAt(at, func() {
+		if gen != ch.wakeGen {
+			return // superseded by an earlier wake
+		}
+		ch.armed = false
+		c.service(ci)
+	})
+}
+
+// service issues as many requests as the current bank/bus state allows, then
+// (if work remains) re-arms itself at the earliest time state changes.
+func (c *Controller) service(ci int) {
+	ch := c.chans[ci]
+	now := c.eng.Now()
+	for ch.live() > 0 {
+		q := &ch.fg
+		pos := c.pick(ch, q, now)
+		if pos < 0 {
+			q = &ch.bg
+			pos = c.pick(ch, q, now)
+		}
+		if pos < 0 {
+			break
+		}
+		req := q.queue[pos]
+		q.remove(pos)
+		c.issue(ch, req, now)
+	}
+	if ch.live() > 0 {
+		c.armService(ci, c.nextReady(ch, now))
+	}
+}
+
+// pick implements FR-FCFS within one queue: a row-hit streak cap and bank
+// fairness via a rotating start bank. It returns the queue index of the
+// request to issue now, or -1 if no bank is ready.
+func (c *Controller) pick(ch *channel, q *reqQueue, now engine.Time) int {
+	best := -1
+	bestScore := -1
+	q.forEachPending(c.cfg.QueueWindow, func(i int, req *Request) bool {
+		bk := &ch.banks[req.loc.bank]
+		if bk.readyAt > now || ch.refreshAt[req.loc.rank] > now {
+			return true
+		}
+		// Base score 1 keeps every eligible candidate above the "none"
+		// sentinel; capped row hits drop below conflicting requests so a
+		// streak cannot starve them.
+		score := 1
+		if bk.openRow == int64(req.loc.row) {
+			if bk.hitStreak < c.cfg.RowHitCap {
+				score += 4 // first-ready: row hits win
+			} else {
+				score-- // capped streak: let a conflicting request through
+			}
+		}
+		// Bank fairness: among equals, prefer banks after the last issued
+		// one, and older requests (queue order) win remaining ties.
+		if score > bestScore {
+			best, bestScore = i, score
+		} else if score == bestScore && best >= 0 {
+			bi := (req.loc.bank - ch.lastBank - 1 + len(ch.banks)) % len(ch.banks)
+			bj := (q.queue[best].loc.bank - ch.lastBank - 1 + len(ch.banks)) % len(ch.banks)
+			if bi < bj {
+				best = i
+			}
+		}
+		return true
+	})
+	return best
+}
+
+func (c *Controller) nextReady(ch *channel, now engine.Time) engine.Time {
+	next := engine.Time(^uint64(0))
+	scan := func(_ int, req *Request) bool {
+		t := ch.banks[req.loc.bank].readyAt
+		if rt := ch.refreshAt[req.loc.rank]; rt > t {
+			t = rt
+		}
+		if t < next {
+			next = t
+		}
+		return true
+	}
+	ch.fg.forEachPending(c.cfg.QueueWindow, scan)
+	ch.bg.forEachPending(c.cfg.QueueWindow, scan)
+	if next <= now {
+		next = now + c.cfg.TCK
+	}
+	return next
+}
+
+func (c *Controller) issue(ch *channel, req *Request, now engine.Time) {
+	bk := &ch.banks[req.loc.bank]
+	var access engine.Time
+	switch {
+	case bk.openRow == int64(req.loc.row):
+		access = c.cfg.TCL
+		bk.hitStreak++
+		c.stats.RowHits.Inc()
+	case bk.openRow < 0:
+		access = c.cfg.TRCD + c.cfg.TCL
+		bk.hitStreak = 0
+		c.stats.RowClosed.Inc()
+		c.stats.Activates.Inc()
+	default:
+		access = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCL
+		bk.hitStreak = 0
+		c.stats.RowMisses.Inc()
+		c.stats.Activates.Inc()
+	}
+	bk.openRow = int64(req.loc.row)
+
+	dataStart := now + access
+	if ch.busFree > dataStart {
+		dataStart = ch.busFree
+	}
+	dataEnd := dataStart + c.cfg.TBurst
+	ch.busFree = dataEnd
+	bk.readyAt = dataEnd
+	ch.lastBank = req.loc.bank
+
+	c.stats.BusBusy += c.cfg.TBurst
+	if req.Write {
+		c.stats.Writes.Inc()
+	} else {
+		c.stats.Reads.Inc()
+	}
+	c.stats.ClassBursts[req.Class].Inc()
+	c.stats.Latency.Observe((dataEnd - req.enq).Nanoseconds())
+
+	if req.Done != nil {
+		done := req.Done
+		c.eng.ScheduleAt(dataEnd, func() { done(dataEnd) })
+	}
+}
+
+// QueueLen returns the number of queued (not yet issued) requests across all
+// channels; used by tests and backpressure heuristics.
+func (c *Controller) QueueLen() int {
+	n := 0
+	for _, ch := range c.chans {
+		n += ch.live()
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", e.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v, want [1 2 3]", order)
+		}
+	}
+}
+
+func TestFIFOAtSameTick(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	if len(order) != 100 {
+		t.Fatalf("executed %d events, want 100", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events ran out of FIFO order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var ticks []Time
+	var recur func()
+	n := 0
+	recur = func() {
+		ticks = append(ticks, e.Now())
+		n++
+		if n < 5 {
+			e.Schedule(10, recur)
+		}
+	}
+	e.Schedule(10, recur)
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	for i, w := range want {
+		if ticks[i] != w {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New()
+	var ran []Time
+	for _, d := range []Time{5, 15, 25} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(20)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before horizon, want 2", len(ran))
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %v, want horizon 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 3 || e.Now() != 25 {
+		t.Fatalf("after Run: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.ScheduleAt(50, func() {})
+}
+
+func TestDrain(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(10, func() { ran = true })
+	e.Drain()
+	e.Run()
+	if ran {
+		t.Fatal("drained event still ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Drain, want 0", e.Pending())
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 42; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed() != 42 {
+		t.Fatalf("Executed() = %d, want 42", e.Executed())
+	}
+}
+
+// Property: events always execute in non-decreasing timestamp order,
+// whatever the insertion order.
+func TestPropertyTimeOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var seen []Time
+		for _, d := range delays {
+			d := Time(d)
+			e.Schedule(d, func() { seen = append(seen, d) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every scheduled event runs exactly once.
+func TestPropertyAllEventsRun(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		count := 0
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { count++ })
+		}
+		e.Run()
+		return count == len(delays) && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", uint64(c.in), got, c.want)
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(rng.Intn(1000)), func() {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// RawResult is the JSON-exportable record of one memoized simulation, for
+// downstream plotting.
+type RawResult struct {
+	Workload string `json:"workload"`
+	Design   string `json:"design"`
+	Setting  string `json:"setting"`
+
+	HugePages     bool   `json:"hugePages"`
+	CTECacheBytes int    `json:"cteCacheBytes"`
+	Granularity   uint64 `json:"granularity"`
+	GroupSize     uint64 `json:"groupSize"`
+	PerfectCTE    bool   `json:"perfectCTE,omitempty"`
+
+	IPC             float64 `json:"ipc"`
+	Insts           uint64  `json:"instructions"`
+	CTEHitRate      float64 `json:"cteHitRate"`
+	PreGatheredRate float64 `json:"preGatheredRate"`
+	UnifiedRate     float64 `json:"unifiedRate"`
+	ReadLatencyNS   float64 `json:"mcReadLatencyNS"`
+	TLBMissRate     float64 `json:"tlbMissRate"`
+
+	ML0 uint64 `json:"ml0Pages"`
+	ML1 uint64 `json:"ml1Pages"`
+	ML2 uint64 `json:"ml2Pages"`
+
+	TrafficBytes     uint64  `json:"trafficBytes"`
+	CTETrafficBytes  uint64  `json:"cteTrafficBytes"`
+	MigrationBytes   uint64  `json:"migrationBytes"`
+	EnergyPerInstPJ  float64 `json:"energyPerInstPJ"`
+	BusUtilization   float64 `json:"busUtilization"`
+	CompressionRatio float64 `json:"compressionRatio"`
+
+	Expansions   uint64 `json:"expansions"`
+	Compressions uint64 `json:"compressions"`
+	Promotions   uint64 `json:"promotions"`
+	Demotions    uint64 `json:"demotions"`
+}
+
+// ExportJSON serializes every memoized result, sorted deterministically.
+func (r *Runner) ExportJSON() ([]byte, error) {
+	out := make([]RawResult, 0, len(r.cache))
+	for k, res := range r.cache {
+		out = append(out, RawResult{
+			Workload:      k.workload,
+			Design:        k.design.String(),
+			Setting:       k.setting.String(),
+			HugePages:     k.hugePages,
+			CTECacheBytes: k.cteCacheBytes,
+			Granularity:   k.granularity,
+			GroupSize:     k.groupSize,
+			PerfectCTE:    k.perfectCTE,
+
+			IPC:             res.IPC,
+			Insts:           res.Insts,
+			CTEHitRate:      res.CTEHitRate,
+			PreGatheredRate: res.PreGatheredRate,
+			UnifiedRate:     res.UnifiedRate,
+			ReadLatencyNS:   res.ReadLatencyNS,
+			TLBMissRate:     res.TLBMissRate,
+
+			ML0: res.ML0, ML1: res.ML1, ML2: res.ML2,
+
+			TrafficBytes:     res.TrafficBytes,
+			CTETrafficBytes:  res.CTETrafficBytes,
+			MigrationBytes:   res.MigrationBytes,
+			EnergyPerInstPJ:  res.EnergyPerInst(),
+			BusUtilization:   res.BusUtilization,
+			CompressionRatio: res.CompressionRatio,
+
+			Expansions:   res.Expansions,
+			Compressions: res.Compressions,
+			Promotions:   res.Promotions,
+			Demotions:    res.Demotions,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Workload != b.Workload:
+			return a.Workload < b.Workload
+		case a.Design != b.Design:
+			return a.Design < b.Design
+		case a.Setting != b.Setting:
+			return a.Setting < b.Setting
+		case a.CTECacheBytes != b.CTECacheBytes:
+			return a.CTECacheBytes < b.CTECacheBytes
+		case a.Granularity != b.Granularity:
+			return a.Granularity < b.Granularity
+		case a.GroupSize != b.GroupSize:
+			return a.GroupSize < b.GroupSize
+		case a.HugePages != b.HugePages:
+			return !a.HugePages
+		default:
+			return !a.PerfectCTE && b.PerfectCTE
+		}
+	})
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dylect/internal/system"
+)
+
+func TestExportJSON(t *testing.T) {
+	r := NewRunner(microConfig())
+	r.Design("omnetpp", system.DesignTMCC, system.SettingHigh)
+	r.Design("omnetpp", system.DesignDyLeCT, system.SettingHigh)
+	data, err := r.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []RawResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("exported %d results, want 2", len(out))
+	}
+	// Deterministic sort: dylect before tmcc.
+	if out[0].Design != "dylect" || out[1].Design != "tmcc" {
+		t.Fatalf("ordering wrong: %s, %s", out[0].Design, out[1].Design)
+	}
+	for _, res := range out {
+		if res.Workload != "omnetpp" || res.Setting != "high" {
+			t.Fatalf("metadata wrong: %+v", res)
+		}
+		if res.IPC <= 0 || res.CTEHitRate <= 0 {
+			t.Fatalf("metrics missing: %+v", res)
+		}
+		if res.CTECacheBytes == 0 || res.Granularity == 0 || res.GroupSize == 0 {
+			t.Fatal("normalized variant fields must be recorded")
+		}
+	}
+}
+
+func TestExportEmptyRunner(t *testing.T) {
+	r := NewRunner(microConfig())
+	data, err := r.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []RawResult
+	if err := json.Unmarshal(data, &out); err != nil || len(out) != 0 {
+		t.Fatalf("empty export wrong: %v, %d", err, len(out))
+	}
+}

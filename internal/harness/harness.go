@@ -1,0 +1,237 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function over a Runner, which memoizes
+// full-system simulation results so the many figures that share the same
+// underlying runs (18-23) simulate each configuration once.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"dylect/internal/engine"
+	"dylect/internal/system"
+	"dylect/internal/trace"
+)
+
+// Config scopes the harness's simulations.
+type Config struct {
+	// Workloads to evaluate (paper order). Empty = all twelve.
+	Workloads []string
+	// ScaleDivisor shrinks footprints/DRAM for runtime (DESIGN.md §3).
+	ScaleDivisor uint64
+	// FootprintFloor keeps scaled footprints above the CTE reach regime.
+	FootprintFloor uint64
+	// WarmupAccesses per core before each timed window.
+	WarmupAccesses uint64
+	// Window is the timed simulation length.
+	Window engine.Time
+	// Seed perturbs workload generators.
+	Seed int64
+}
+
+// Full returns the configuration used for EXPERIMENTS.md: all workloads at
+// 1/8 scale (GraphBIG kernels at 256MB footprints).
+func Full() Config {
+	return Config{
+		Workloads:      trace.Names(),
+		ScaleDivisor:   8,
+		FootprintFloor: 192 << 20,
+		WarmupAccesses: 600_000,
+		Window:         300 * engine.Microsecond,
+	}
+}
+
+// Quick returns a fast configuration for tests and benchmarks: four
+// representative workloads, footprints floored at 192MB.
+func Quick() Config {
+	return Config{
+		Workloads:      []string{"bfs", "mcf", "omnetpp", "canneal"},
+		ScaleDivisor:   8,
+		FootprintFloor: 192 << 20,
+		WarmupAccesses: 300_000,
+		Window:         200 * engine.Microsecond,
+	}
+}
+
+// sweepWorkloads bounds the expensive parameter sweeps (Figures 5, 6, 25)
+// to a representative subset when the full set is configured.
+func (r *Runner) sweepWorkloads() []string {
+	ws := r.workloads()
+	if len(ws) <= 4 {
+		return ws
+	}
+	return []string{"bfs", "sssp", "mcf", "canneal"}
+}
+
+// variant captures the per-run knobs beyond workload/design/setting.
+type variant struct {
+	hugePages     bool
+	cteCacheBytes int
+	granularity   uint64
+	groupSize     uint64
+	perfectCTE    bool
+	ranks         int
+}
+
+func defaultVariant() variant { return variant{hugePages: true} }
+
+type runKey struct {
+	workload string
+	design   system.Design
+	setting  system.Setting
+	variant
+}
+
+// Runner memoizes simulation results.
+type Runner struct {
+	Cfg   Config
+	cache map[runKey]*system.Result
+}
+
+// NewRunner builds a Runner over a configuration.
+func NewRunner(cfg Config) *Runner {
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = trace.Names()
+	}
+	if cfg.ScaleDivisor == 0 {
+		cfg.ScaleDivisor = 8
+	}
+	if cfg.WarmupAccesses == 0 {
+		cfg.WarmupAccesses = 250_000
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 150 * engine.Microsecond
+	}
+	return &Runner{Cfg: cfg, cache: make(map[runKey]*system.Result)}
+}
+
+// get runs (or returns the memoized result of) one configuration. Variant
+// defaults are normalized before the cache key is formed so equivalent
+// configurations share one simulation.
+func (r *Runner) get(wl string, d system.Design, s system.Setting, v variant) *system.Result {
+	if v.cteCacheBytes == 0 {
+		v.cteCacheBytes = r.ScaledCTECache(128 << 10)
+	}
+	if v.granularity == 0 {
+		v.granularity = 4 << 10
+	}
+	if v.groupSize == 0 {
+		v.groupSize = 3
+	}
+	key := runKey{workload: wl, design: d, setting: s, variant: v}
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	w, ok := trace.ByName(wl)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown workload %q", wl))
+	}
+	res := system.Run(system.Options{
+		Workload:       w,
+		Design:         d,
+		Setting:        s,
+		HugePages:      v.hugePages,
+		CTECacheBytes:  v.cteCacheBytes,
+		Granularity:    v.granularity,
+		GroupSize:      v.groupSize,
+		PerfectCTE:     v.perfectCTE,
+		Ranks:          v.ranks,
+		WarmupAccesses: r.Cfg.WarmupAccesses,
+		Window:         r.Cfg.Window,
+		ScaleDivisor:   r.Cfg.ScaleDivisor,
+		FootprintFloor: r.Cfg.FootprintFloor,
+		Seed:           r.Cfg.Seed,
+	})
+	r.cache[key] = res
+	return res
+}
+
+// ScaledCTECache scales a paper-sized CTE cache with the footprint scale so
+// translation-reach : footprint ratios match the paper (a 128KB cache's
+// 64MB unified reach is sized against 1-106GB footprints; against a 1/8
+// scale footprint the equivalent cache is 16KB). Floored at 4KB.
+func (r *Runner) ScaledCTECache(paperBytes int) int {
+	sz := paperBytes / int(r.Cfg.ScaleDivisor)
+	if sz < 4<<10 {
+		sz = 4 << 10
+	}
+	return sz
+}
+
+// Baseline returns the no-compression bigger-memory result for a workload.
+func (r *Runner) Baseline(wl string) *system.Result {
+	return r.get(wl, system.DesignNoComp, system.SettingNone, defaultVariant())
+}
+
+// Design returns a design's result at a compression setting.
+func (r *Runner) Design(wl string, d system.Design, s system.Setting) *system.Result {
+	return r.get(wl, d, s, defaultVariant())
+}
+
+// Runs reports how many distinct simulations have been executed.
+func (r *Runner) Runs() int { return len(r.cache) }
+
+// Experiment ties a name to its regeneration function.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(*Runner) []string
+}
+
+// Experiments returns the registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: Contrast with prior work", Table1},
+		{"table2", "Table 2: Benchmarks and DRAM sizes", Table2},
+		{"table3", "Table 3: Simulated microarchitecture", Table3},
+		{"fig3", "Figure 3: 2MB huge pages vs 4KB pages speedup", Fig3},
+		{"motivation", "Section III-A: PTB embedding vs page size", Motivation},
+		{"fig4", "Figure 4: TMCC performance vs no compression", Fig4},
+		{"fig5", "Figure 5: TMCC CTE cache miss rate vs cache size", Fig5},
+		{"fig6", "Figure 6: TMCC at coarse compression granularity", Fig6},
+		{"naive", "Section IV-A3: naive dynamic-length design", NaiveAblation},
+		{"fig17", "Figure 17: baseline bandwidth utilization", Fig17},
+		{"fig18", "Figure 18: DyLeCT performance vs TMCC", Fig18},
+		{"fig19", "Figure 19: CTE cache hit rates", Fig19},
+		{"fig20", "Figure 20: DRAM breakdown by memory level", Fig20},
+		{"fig21", "Figure 21: L3 miss latency increase", Fig21},
+		{"fig22", "Figure 22: memory traffic per instruction", Fig22},
+		{"fig23", "Figure 23: CTE and total traffic", Fig23},
+		{"fig24", "Figure 24: DRAM energy per instruction", Fig24},
+		{"fig25", "Figure 25: ML0 fraction vs DRAM page group size", Fig25},
+		{"abl-gradual", "Ablation: gradual promotion vs direct-to-ML0", AblationGradual},
+		{"abl-sampling", "Ablation: promotion sampling period", AblationSampling},
+	}
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names returns all experiment names sorted as registered.
+func Names() []string {
+	es := Experiments()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// sortedWorkloads returns the runner's workload list (stable order).
+func (r *Runner) workloads() []string {
+	ws := append([]string(nil), r.Cfg.Workloads...)
+	// Keep paper order (trace.Names order), not alphabetical.
+	order := map[string]int{}
+	for i, n := range trace.Names() {
+		order[n] = i
+	}
+	sort.SliceStable(ws, func(i, j int) bool { return order[ws[i]] < order[ws[j]] })
+	return ws
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dylect/internal/engine"
+	"dylect/internal/system"
+)
+
+// microConfig keeps harness tests fast: one workload, tiny footprint.
+func microConfig() Config {
+	return Config{
+		Workloads:      []string{"omnetpp"},
+		ScaleDivisor:   16,
+		FootprintFloor: 64 << 20,
+		WarmupAccesses: 30_000,
+		Window:         15 * engine.Microsecond,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"table1", "table2", "table3", "fig3", "motivation", "fig4", "fig5", "fig6",
+		"naive", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+		"fig24", "fig25", "abl-gradual", "abl-sampling"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(names), len(want))
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("experiment %d = %q, want %q", i, names[i], w)
+		}
+	}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("ByName(%q) failed", n)
+		}
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(microConfig())
+	a := r.Design("omnetpp", system.DesignTMCC, system.SettingHigh)
+	before := r.Runs()
+	b := r.Design("omnetpp", system.DesignTMCC, system.SettingHigh)
+	if a != b {
+		t.Fatal("repeated run not memoized")
+	}
+	if r.Runs() != before {
+		t.Fatal("memoized run re-simulated")
+	}
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	r := NewRunner(Config{})
+	if len(r.Cfg.Workloads) != 12 || r.Cfg.ScaleDivisor == 0 ||
+		r.Cfg.WarmupAccesses == 0 || r.Cfg.Window == 0 {
+		t.Fatalf("defaults not filled: %+v", r.Cfg)
+	}
+}
+
+func TestScaledCTECache(t *testing.T) {
+	r := NewRunner(Config{ScaleDivisor: 8})
+	if got := r.ScaledCTECache(128 << 10); got != 16<<10 {
+		t.Fatalf("scaled 128KB = %d, want 16KB", got)
+	}
+	if got := r.ScaledCTECache(4 << 10); got != 4<<10 {
+		t.Fatalf("floor broken: %d", got)
+	}
+}
+
+func TestSweepSubset(t *testing.T) {
+	r := NewRunner(Config{}) // all 12
+	if got := r.sweepWorkloads(); len(got) != 4 {
+		t.Fatalf("sweep subset = %v", got)
+	}
+	r2 := NewRunner(microConfig())
+	if got := r2.sweepWorkloads(); len(got) != 1 || got[0] != "omnetpp" {
+		t.Fatalf("small sets should sweep everything: %v", got)
+	}
+}
+
+func TestWorkloadOrderingIsPaperOrder(t *testing.T) {
+	r := NewRunner(Config{Workloads: []string{"canneal", "bfs", "mcf"}})
+	ws := r.workloads()
+	if ws[0] != "bfs" || ws[1] != "mcf" || ws[2] != "canneal" {
+		t.Fatalf("workloads not in paper order: %v", ws)
+	}
+}
+
+// TestEveryExperimentProducesATable runs all 17 experiments end-to-end on
+// the micro configuration, sharing one memoized runner.
+func TestEveryExperimentProducesATable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped with -short")
+	}
+	r := NewRunner(microConfig())
+	for _, e := range Experiments() {
+		blocks := e.Run(r)
+		if len(blocks) == 0 {
+			t.Fatalf("%s produced no output", e.Name)
+		}
+		for _, b := range blocks {
+			if !strings.Contains(b, "omnetpp") && !strings.Contains(b, "Table 3") &&
+				!strings.Contains(b, "Setting") && !strings.Contains(b, "This work") {
+				t.Fatalf("%s output missing workload rows:\n%s", e.Name, b)
+			}
+			if len(strings.Split(b, "\n")) < 4 {
+				t.Fatalf("%s output suspiciously short:\n%s", e.Name, b)
+			}
+		}
+	}
+	if r.Runs() < 10 {
+		t.Fatalf("expected the experiments to exercise many configurations, got %d", r.Runs())
+	}
+}
+
+func TestFig18ReportsBothSettings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped with -short")
+	}
+	r := NewRunner(microConfig())
+	blocks := Fig18(r)
+	if len(blocks) != 2 {
+		t.Fatalf("fig18 should emit low and high tables, got %d", len(blocks))
+	}
+	if !strings.Contains(blocks[0], "low compression") ||
+		!strings.Contains(blocks[1], "high compression") {
+		t.Fatal("fig18 table titles wrong")
+	}
+	if !strings.Contains(blocks[0], "paper avg") {
+		t.Fatal("fig18 missing paper reference row")
+	}
+}

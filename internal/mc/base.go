@@ -1,0 +1,661 @@
+package mc
+
+import (
+	"fmt"
+
+	"dylect/internal/cache"
+	"dylect/internal/comp"
+	"dylect/internal/dram"
+	"dylect/internal/engine"
+	"dylect/internal/stats"
+)
+
+// Memory levels of the (up to) three-level exclusive hierarchy.
+const (
+	ML0 = 0 // uncompressed, short CTE (DyLeCT only)
+	ML1 = 1 // uncompressed, long CTE
+	ML2 = 2 // compressed, long CTE
+)
+
+// Translator is the interface the system's LLC-miss path drives. Access is
+// the timed path (done fires when a read's data is available; writes are
+// posted and may pass done == nil). Warm is the functional path used during
+// the methodology's atomic-mode warmup: identical state transitions, no
+// timing, no DRAM traffic.
+type Translator interface {
+	Access(addr uint64, write bool, done func())
+	Warm(addr uint64, write bool)
+	Stats() *Stats
+}
+
+// Stats aggregates translator-level statistics shared by all designs.
+type Stats struct {
+	Requests  stats.Counter
+	CTEHits   stats.Counter
+	CTEMisses stats.Counter
+	// PreGatheredHits / UnifiedHits split CTEHits for DyLeCT (Figure 19).
+	PreGatheredHits stats.Counter
+	UnifiedHits     stats.Counter
+	// CTEBlockFetches counts CTE-table block reads from DRAM.
+	CTEBlockFetches stats.Counter
+
+	// WalkHints counts CTE blocks pre-filled by PTB embedding.
+	WalkHints stats.Counter
+
+	Expansions    stats.Counter
+	Compressions  stats.Counter
+	Promotions    stats.Counter
+	Demotions     stats.Counter
+	Displacements stats.Counter
+	PressureStuck stats.Counter
+	// EmergencyStalls counts expansions that found the Free List empty and
+	// had to compress a victim synchronously on the critical path.
+	EmergencyStalls stats.Counter
+
+	// ReadLatency is end-to-end demand read latency at the MC (ns):
+	// translation + any expansion stall + DRAM access (Figure 21).
+	ReadLatency stats.Accumulator
+}
+
+// HitRate returns the CTE cache hit rate (Figure 19 / Figure 5).
+func (s *Stats) HitRate() float64 {
+	return stats.Ratio(s.CTEHits.Value(), s.CTEHits.Value()+s.CTEMisses.Value())
+}
+
+// Reset zeroes all counters at the warmup/measurement boundary.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Params configures the shared machinery.
+type Params struct {
+	Eng  *engine.Engine
+	DRAM *dram.Controller
+	// OSBytes is the OS-visible memory (the workload footprint).
+	OSBytes uint64
+	// Granularity is the compression/translation granularity (4KB in TMCC
+	// and DyLeCT; 16/64/128KB for the Figure 6 sweep).
+	Granularity uint64
+	// SizeModel supplies per-4KB-page compressed sizes.
+	SizeModel *comp.SizeModel
+	// CTECacheBytes sizes the CTE cache (Table 3: 128KB, 8-way).
+	CTECacheBytes int
+	CTEAssoc      int
+	// CTEHitLatency is the CTE cache lookup time (2 memory clocks).
+	CTEHitLatency engine.Time
+	// FreeTargetBytes is the Free List watermark demand-adaptive
+	// compression maintains (16MB).
+	FreeTargetBytes uint64
+	// CompLatency models the compression ASIC.
+	CompLatency comp.Latency
+	// RecencySamplePeriod is how often the Recency List head is updated
+	// (every 100 memory requests).
+	RecencySamplePeriod int
+	// PerfectCTE makes every CTE lookup hit (the hypothetical upper bound
+	// in Figure 18).
+	PerfectCTE bool
+	// EmbedPTB enables TMCC's page-table-block CTE embedding
+	// (Section II-B): a page walk's leaf PTB carries truncated CTEs for
+	// its pages, so the walk pre-fills the CTE cache at no extra DRAM
+	// cost. Only effective under 4KB pages — 2MB PTBs cannot hold their
+	// constituent pages' CTEs (Section III-A), which is the paper's
+	// motivation.
+	EmbedPTB bool
+	// WithDyLeCTTables reserves the Pre-gathered Table and access-counter
+	// storage in DRAM.
+	WithDyLeCTTables bool
+	// GroupSize is the DRAM page group size G for short CTEs (3 for
+	// 2-bit entries; Figure 25 sweeps 7 and 15).
+	GroupSize uint64
+}
+
+// withDefaults fills unset fields with Table 3 values.
+func (p Params) withDefaults() Params {
+	if p.Granularity == 0 {
+		p.Granularity = comp.PageSize
+	}
+	if p.CTECacheBytes == 0 {
+		p.CTECacheBytes = 128 << 10
+	}
+	if p.CTEAssoc == 0 {
+		p.CTEAssoc = 8
+	}
+	if p.CTEHitLatency == 0 {
+		p.CTEHitLatency = 1250 * engine.Picosecond // 2 memory clocks
+	}
+	if p.FreeTargetBytes == 0 {
+		p.FreeTargetBytes = 16 << 20
+	}
+	if p.CompLatency.Per4K == 0 {
+		p.CompLatency = comp.DefaultLatency
+	}
+	if p.RecencySamplePeriod == 0 {
+		p.RecencySamplePeriod = 100
+	}
+	if p.GroupSize == 0 {
+		p.GroupSize = 3
+	}
+	return p
+}
+
+// unit is the translation/compression unit's per-unit state.
+type unit struct {
+	level uint8
+	// addr is the machine byte address of the unit's frame (ML0/ML1) or
+	// chunk (ML2).
+	class   uint8 // chunk size class when compressed
+	short   uint8 // short CTE value; == GroupSize means INVALID
+	counter uint8 // 5-bit sampled access counter
+	addr    uint64
+}
+
+// Frame owner markers for ownerUnit.
+const (
+	ownerFree   = int64(-1)
+	ownerChunks = int64(-2)
+)
+
+// Base implements the machinery common to TMCC, the naive design, and
+// DyLeCT. Concrete designs embed it and implement Translator.Access.
+type Base struct {
+	P     Params
+	Eng   *engine.Engine
+	DRAM  *dram.Controller
+	Space *Space
+	Rec   *Recency
+	CTE   *cache.Cache
+	S     Stats
+
+	units     []unit
+	ownerUnit []int64 // per frame: owning unit, ownerFree, or ownerChunks
+	// residents lists the compressed units whose chunks live in each
+	// carved frame, so a whole chunk frame can be displaced out of a DRAM
+	// page group (Section IV-B: group occupants in ML2 migrate via their
+	// long CTEs).
+	residents map[uint64][]uint64
+
+	unifiedBase    uint64 // machine address of the Unified CTE Table
+	preGatherBase  uint64 // machine address of the Pre-gathered Table
+	counterBase    uint64 // machine address of the access counters
+	nUnits         uint64
+	pagesPerUnit   uint64
+	frameBlocks    int
+	reqCount       uint64 // for recency sampling
+	compressing    bool
+	functionalMode bool
+
+	// in-flight expansion waiters per unit
+	expandWait map[uint64][]func()
+	// in-flight CTE block fetch waiters per block address
+	fetchWait map[uint64][]func()
+}
+
+// NewBase lays out DRAM (data frames + reserved tables) and initializes all
+// shared structures. Every OS unit starts compressed in ML2, mirroring the
+// methodology's "compress and pack everything, then warm up" sequence.
+func NewBase(p Params) *Base {
+	p = p.withDefaults()
+	b := &Base{
+		P:          p,
+		Eng:        p.Eng,
+		DRAM:       p.DRAM,
+		expandWait: make(map[uint64][]func()),
+		fetchWait:  make(map[uint64][]func()),
+		residents:  make(map[uint64][]uint64),
+	}
+	b.nUnits = p.OSBytes / p.Granularity
+	if b.nUnits == 0 {
+		panic("mc: empty footprint")
+	}
+	b.pagesPerUnit = p.Granularity / comp.PageSize
+	b.frameBlocks = int(p.Granularity / comp.BlockSize)
+
+	total := p.DRAM.Config().TotalBytes()
+	nPages := p.OSBytes / comp.PageSize
+	tables := align64(b.nUnits * 8) // unified CTE table: 8B per unit
+	if p.WithDyLeCTTables {
+		tables += align64(nPages/4 + 1)   // pre-gathered: 2 bits per page
+		tables += align64(nPages*5/8 + 1) // counters: 5 bits per page
+	}
+	reserved := (tables + p.Granularity - 1) / p.Granularity * p.Granularity
+	if reserved+p.Granularity*4 > total {
+		panic(fmt.Sprintf("mc: DRAM of %d bytes too small for tables (%d)", total, reserved))
+	}
+	usable := total - reserved
+	b.unifiedBase = usable
+	b.preGatherBase = usable + align64(b.nUnits*8)
+	b.counterBase = b.preGatherBase + align64(nPages/4+1)
+
+	b.Space = NewSpace(0, usable/p.Granularity, p.Granularity)
+	b.Rec = NewRecency(b.nUnits)
+	b.CTE = cache.New(cache.Config{SizeBytes: p.CTECacheBytes, LineBytes: 64, Assoc: p.CTEAssoc})
+	b.units = make([]unit, b.nUnits)
+	b.ownerUnit = make([]int64, b.Space.NumFrames())
+	for i := range b.ownerUnit {
+		b.ownerUnit[i] = ownerFree
+	}
+
+	// Initial placement: compress and pack everything.
+	for u := uint64(0); u < b.nUnits; u++ {
+		class := b.unitClass(u)
+		addr, carved, ok := b.Space.AllocChunk(class)
+		if !ok {
+			panic(fmt.Sprintf("mc: footprint %d does not fit DRAM %d even fully compressed (unit %d)",
+				p.OSBytes, total, u))
+		}
+		if carved {
+			b.ownerUnit[b.Space.FrameOf(addr)] = ownerChunks
+		}
+		b.units[u] = unit{level: ML2, addr: addr, class: uint8(class), short: uint8(p.GroupSize)}
+		b.addResident(b.Space.FrameOf(addr), u)
+	}
+	return b
+}
+
+func (b *Base) addResident(frame, u uint64) {
+	b.residents[frame] = append(b.residents[frame], u)
+}
+
+func (b *Base) removeResident(frame, u uint64) {
+	lst := b.residents[frame]
+	for i, v := range lst {
+		if v == u {
+			lst[i] = lst[len(lst)-1]
+			lst = lst[:len(lst)-1]
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(b.residents, frame)
+		return
+	}
+	b.residents[frame] = lst
+}
+
+func align64(x uint64) uint64 { return (x + 63) &^ 63 }
+
+// NumUnits returns the number of translation units.
+func (b *Base) NumUnits() uint64 { return b.nUnits }
+
+// SetFunctional switches between functional-warmup and timed mode.
+func (b *Base) SetFunctional(on bool) { b.functionalMode = on }
+
+// Functional reports the current mode.
+func (b *Base) Functional() bool { return b.functionalMode }
+
+// UnitOf returns the unit index of an OS-physical byte address.
+func (b *Base) UnitOf(addr uint64) uint64 { return addr / b.P.Granularity }
+
+// Level returns the memory level of a unit.
+func (b *Base) Level(u uint64) uint8 { return b.units[u].level }
+
+// ShortCTE returns the unit's short CTE (GroupSize == INVALID).
+func (b *Base) ShortCTE(u uint64) uint8 { return b.units[u].short }
+
+// UnitAddr returns the unit's current machine address.
+func (b *Base) UnitAddr(u uint64) uint64 { return b.units[u].addr }
+
+// unitClass computes the chunk class of a unit from its constituent pages'
+// modeled compressed sizes.
+func (b *Base) unitClass(u uint64) int {
+	var total uint64
+	first := u * b.pagesPerUnit
+	for i := uint64(0); i < b.pagesPerUnit; i++ {
+		total += uint64(b.P.SizeModel.CompressedSize(first + i))
+	}
+	if total > b.P.Granularity {
+		total = b.P.Granularity
+	}
+	return b.Space.ClassOf(total)
+}
+
+// UnifiedBlockAddr returns the machine address of the unified CTE table
+// block holding unit u's entry (8 entries of 8B per 64B block).
+func (b *Base) UnifiedBlockAddr(u uint64) uint64 { return b.unifiedBase + u/8*64 }
+
+// PreGatheredBlockAddr returns the machine address of the pre-gathered
+// table block covering page p (256 2-bit entries per 64B block → 1MB reach).
+func (b *Base) PreGatheredBlockAddr(p uint64) uint64 { return b.preGatherBase + p/256*64 }
+
+// CounterBlockAddr returns the machine address of the access-counter block
+// for page p.
+func (b *Base) CounterBlockAddr(p uint64) uint64 { return b.counterBase + p*5/8/64*64 }
+
+// After runs fn after a latency: inline in functional mode, scheduled on
+// the engine in timed mode.
+func (b *Base) After(d engine.Time, fn func()) {
+	if b.functionalMode {
+		fn()
+		return
+	}
+	b.Eng.Schedule(d, fn)
+}
+
+// ReadBlocks issues n sequential 64B reads starting at addr and calls done
+// (if non-nil) when the last completes. In functional mode it is free and
+// done runs inline.
+func (b *Base) ReadBlocks(addr uint64, n int, class dram.Class, background bool, done func()) {
+	if b.functionalMode || n == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	remaining := n
+	for i := 0; i < n; i++ {
+		var cb func(engine.Time)
+		if done != nil {
+			cb = func(engine.Time) {
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			}
+		}
+		b.DRAM.Submit(&dram.Request{
+			Addr: addr + uint64(i)*comp.BlockSize, Class: class,
+			Background: background, Done: cb,
+		})
+	}
+}
+
+// WriteBlocks issues n posted 64B writes starting at addr.
+func (b *Base) WriteBlocks(addr uint64, n int, class dram.Class, background bool) {
+	if b.functionalMode {
+		return
+	}
+	for i := 0; i < n; i++ {
+		b.DRAM.Submit(&dram.Request{
+			Addr: addr + uint64(i)*comp.BlockSize, Write: true, Class: class,
+			Background: background,
+		})
+	}
+}
+
+// chunkBlocks returns the DRAM bursts needed for a chunk class.
+func (b *Base) chunkBlocks(class int) int {
+	return int((b.Space.ClassBytes(class) + comp.BlockSize - 1) / comp.BlockSize)
+}
+
+// TouchRecency applies TMCC's sampled Recency List head update (once every
+// RecencySamplePeriod requests) for an uncompressed unit.
+func (b *Base) TouchRecency(u uint64) {
+	b.reqCount++
+	if b.reqCount%uint64(b.P.RecencySamplePeriod) != 0 {
+		return
+	}
+	if b.units[u].level != ML2 {
+		b.Rec.Touch(u)
+	}
+}
+
+// CheckPressure starts (or continues) demand-adaptive background
+// compression when free frames fall below the watermark.
+func (b *Base) CheckPressure() {
+	if b.compressing || b.Space.FreeFrameBytes() >= b.P.FreeTargetBytes {
+		return
+	}
+	b.compressing = true
+	if b.functionalMode {
+		for b.compressStep() {
+		}
+		b.compressing = false
+		return
+	}
+	b.compressLoop()
+}
+
+func (b *Base) compressLoop() {
+	if !b.compressStep() {
+		b.compressing = false
+		return
+	}
+	// One compression engine: next victim after the ASIC finishes this one.
+	b.Eng.Schedule(b.P.CompLatency.For(b.P.Granularity), b.compressLoop)
+}
+
+// compressStep compresses one Recency-List-tail victim; it reports whether
+// pressure remains and progress was made.
+func (b *Base) compressStep() bool {
+	if b.Space.FreeFrameBytes() >= b.P.FreeTargetBytes {
+		return false
+	}
+	// Walk from the tail for a compressible victim.
+	v, ok := b.Rec.Tail()
+	if !ok {
+		b.S.PressureStuck.Inc()
+		return false
+	}
+	b.CompressUnit(v)
+	return true
+}
+
+// CompressUnit moves an uncompressed unit to ML2: allocates a tight chunk,
+// moves the data (read frame + write chunk, background), frees the frame,
+// and updates the CTE tables. Units mid-expansion are skipped (dropped from
+// the Recency List; their next touch re-inserts them).
+func (b *Base) CompressUnit(u uint64) {
+	if _, busy := b.expandWait[u]; busy {
+		b.Rec.Remove(u)
+		return
+	}
+	st := &b.units[u]
+	if st.level == ML2 {
+		b.Rec.Remove(u)
+		return
+	}
+	class := b.unitClass(u)
+	frame := b.Space.FrameOf(st.addr)
+	chunk, carved, ok := b.Space.AllocChunk(class)
+	if !ok {
+		// No space for the compressed copy right now; drop the unit from
+		// the Recency List so victim selection makes progress (its next
+		// touch re-inserts it).
+		b.Rec.Remove(u)
+		b.S.PressureStuck.Inc()
+		return
+	}
+	if carved {
+		b.ownerUnit[b.Space.FrameOf(chunk)] = ownerChunks
+	}
+	b.ReadBlocks(st.addr, b.frameBlocks, dram.ClassMigration, true, nil)
+	b.WriteBlocks(chunk, b.chunkBlocks(class), dram.ClassMigration, true)
+	b.Rec.Remove(u)
+	wasML0 := st.level == ML0
+	b.Space.FreeFrame(frame)
+	b.ownerUnit[frame] = ownerFree
+	st.level = ML2
+	st.addr = chunk
+	st.class = uint8(class)
+	st.short = uint8(b.P.GroupSize)
+	b.addResident(b.Space.FrameOf(chunk), u)
+	b.updateTables(u, wasML0)
+	b.S.Compressions.Inc()
+	if wasML0 {
+		b.S.Demotions.Inc()
+	}
+}
+
+// updateTables charges the DRAM writes for a unit's CTE table update (one
+// unified-block write; plus the pre-gathered block when the short CTE
+// changed) and invalidates any stale cached copy so the cache is re-filled
+// with fresh contents on next use.
+func (b *Base) updateTables(u uint64, shortChanged bool) {
+	b.WriteBlocks(b.UnifiedBlockAddr(u), 1, dram.ClassCTE, true)
+	if shortChanged && b.P.WithDyLeCTTables {
+		b.WriteBlocks(b.PreGatheredBlockAddr(u*b.pagesPerUnit), 1, dram.ClassCTE, true)
+	}
+}
+
+// EnsureFrame guarantees a free frame exists, synchronously compressing
+// victims if the Free List ran dry (an emergency TMCC also faces); the
+// returned stall covers the compression latency added to the caller's
+// critical path.
+func (b *Base) EnsureFrame() (frame uint64, stall engine.Time, ok bool) {
+	stall = 0
+	for {
+		if f, got := b.Space.AllocFrame(); got {
+			return f, stall, true
+		}
+		v, got := b.Rec.Tail()
+		if !got {
+			b.S.PressureStuck.Inc()
+			return 0, stall, false
+		}
+		b.CompressUnit(v)
+		b.S.EmergencyStalls.Inc()
+		stall += b.P.CompLatency.For(b.P.Granularity)
+	}
+}
+
+// ExpandUnit promotes an ML2 unit to uncompressed ML1 (the gradual
+// ML2→ML1 promotion): reads the chunk, decompresses, writes into a free
+// frame. done fires when the decompressed data is available (the demand
+// access is served from the expansion buffer). Concurrent requests to a
+// unit mid-expansion queue behind the first.
+func (b *Base) ExpandUnit(u uint64, done func()) {
+	if waiters, busy := b.expandWait[u]; busy {
+		b.expandWait[u] = append(waiters, done)
+		return
+	}
+	st := &b.units[u]
+	frame, stall, ok := b.EnsureFrame()
+	if !ok {
+		// Memory is irrecoverably full; serve from the compressed copy.
+		if done != nil {
+			done()
+		}
+		return
+	}
+	b.expandWait[u] = nil // mark in flight; frame is reserved
+	oldChunk, oldClass := st.addr, int(st.class)
+	fa := b.Space.FrameAddr(frame)
+
+	finish := func() {
+		b.ownerUnit[frame] = int64(u)
+		st.level = ML1
+		st.addr = fa
+		st.short = uint8(b.P.GroupSize)
+		b.removeResident(b.Space.FrameOf(oldChunk), u)
+		if f, ok := b.Space.FreeChunk(oldChunk, oldClass); ok {
+			b.ownerUnit[f] = ownerFree
+		}
+		b.Rec.Touch(u)
+		b.updateTables(u, false)
+		b.S.Expansions.Inc()
+		// Write the decompressed page into its frame (posted).
+		b.WriteBlocks(fa, b.frameBlocks, dram.ClassMigration, true)
+		waiters := b.expandWait[u]
+		delete(b.expandWait, u)
+		if done != nil {
+			done()
+		}
+		for _, w := range waiters {
+			if w != nil {
+				w()
+			}
+		}
+		b.CheckPressure()
+	}
+	if b.functionalMode {
+		finish()
+		return
+	}
+	decompress := b.P.CompLatency.For(b.P.Granularity)
+	b.ReadBlocks(oldChunk, b.chunkBlocks(oldClass), dram.ClassMigration, false, func() {
+		b.Eng.Schedule(decompress+stall, finish)
+	})
+}
+
+// FetchCTEBlock reads one CTE-table block from DRAM (deduplicating
+// concurrent fetches of the same block) and fills the CTE cache when
+// cacheIt is set. done fires when the block arrives.
+func (b *Base) FetchCTEBlock(blockAddr uint64, cacheIt bool, done func()) {
+	b.S.CTEBlockFetches.Inc()
+	if waiters, busy := b.fetchWait[blockAddr]; busy {
+		b.fetchWait[blockAddr] = append(waiters, done)
+		return
+	}
+	b.fetchWait[blockAddr] = nil
+	complete := func() {
+		if cacheIt {
+			b.CTE.Fill(blockAddr, false)
+		}
+		waiters := b.fetchWait[blockAddr]
+		delete(b.fetchWait, blockAddr)
+		if done != nil {
+			done()
+		}
+		for _, w := range waiters {
+			if w != nil {
+				w()
+			}
+		}
+	}
+	if b.functionalMode {
+		complete()
+		return
+	}
+	b.ReadBlocks(blockAddr, 1, dram.ClassCTE, false, complete)
+}
+
+// DataAccess performs the demand 64B access for an uncompressed unit at the
+// given OS-physical address; reads call done at data arrival, writes are
+// posted (done runs immediately).
+func (b *Base) DataAccess(osAddr uint64, write bool, done func()) {
+	u := b.UnitOf(osAddr)
+	machine := b.units[u].addr + osAddr%b.P.Granularity
+	if write {
+		b.WriteBlocks(machine, 1, dram.ClassDemand, false)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if b.functionalMode {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	b.ReadBlocks(machine, 1, dram.ClassDemand, false, done)
+}
+
+// LevelCounts returns how many units are in each level (Figure 20).
+func (b *Base) LevelCounts() (ml0, ml1, ml2 uint64) {
+	for i := range b.units {
+		switch b.units[i].level {
+		case ML0:
+			ml0++
+		case ML1:
+			ml1++
+		default:
+			ml2++
+		}
+	}
+	return
+}
+
+// SpaceUsage returns the DRAM byte occupancy by memory level plus free
+// bytes (frames + chunks) — the breakdown Figure 20 plots.
+func (b *Base) SpaceUsage() (ml0, ml1, ml2, free uint64) {
+	for i := range b.units {
+		switch b.units[i].level {
+		case ML0:
+			ml0 += b.P.Granularity
+		case ML1:
+			ml1 += b.P.Granularity
+		default:
+			ml2 += b.Space.ClassBytes(int(b.units[i].class))
+		}
+	}
+	return ml0, ml1, ml2, b.Space.TotalFreeBytes()
+}
+
+// CompressionRatio returns OS bytes per used machine byte achieved right
+// now (Table 1's compression ratio).
+func (b *Base) CompressionRatio() float64 {
+	used := b.Space.NumFrames()*b.P.Granularity - b.Space.TotalFreeBytes()
+	if used == 0 {
+		return 0
+	}
+	return float64(b.P.OSBytes) / float64(used)
+}

@@ -1,0 +1,327 @@
+package mc
+
+import (
+	"testing"
+
+	"dylect/internal/comp"
+	"dylect/internal/dram"
+	"dylect/internal/engine"
+)
+
+// testBase builds a small Base: 16MB footprint over 12MB DRAM.
+func testBase(t *testing.T, withDyLeCT bool) (*Base, *engine.Engine, *dram.Controller) {
+	t.Helper()
+	eng := engine.New()
+	// 1 channel, 1 rank, 16 banks, 8KB rows: rows for 12MB = 96 rows/bank.
+	d := dram.NewController(eng, dram.DDR4(1, 1, 96))
+	b := NewBase(Params{
+		Eng: eng, DRAM: d,
+		OSBytes:          16 << 20,
+		SizeModel:        comp.NewSizeModel(1, 3.4),
+		FreeTargetBytes:  1 << 20,
+		WithDyLeCTTables: withDyLeCT,
+	})
+	return b, eng, d
+}
+
+func TestBaseInitialPlacementAllCompressed(t *testing.T) {
+	b, _, _ := testBase(t, false)
+	ml0, ml1, ml2 := b.LevelCounts()
+	if ml0 != 0 || ml1 != 0 || ml2 != b.NumUnits() {
+		t.Fatalf("initial levels = %d/%d/%d, want all ML2", ml0, ml1, ml2)
+	}
+	if b.NumUnits() != (16<<20)/4096 {
+		t.Fatalf("units = %d", b.NumUnits())
+	}
+	// Everything compressed must fit with room to spare.
+	if b.Space.FreeFrameBytes() == 0 {
+		t.Fatal("no free frames after initial packing")
+	}
+	if r := b.CompressionRatio(); r < 2.5 || r > 5 {
+		t.Fatalf("initial compression ratio = %.2f, want near the 3.4x model", r)
+	}
+}
+
+func TestTableAddressesOutsideDataSpace(t *testing.T) {
+	b, _, _ := testBase(t, true)
+	dataTop := b.Space.NumFrames() * b.Space.FrameBytes()
+	if b.UnifiedBlockAddr(0) < dataTop {
+		t.Fatal("unified table overlaps data frames")
+	}
+	if b.PreGatheredBlockAddr(0) <= b.UnifiedBlockAddr(b.NumUnits()-1) {
+		t.Fatal("pre-gathered table overlaps unified table")
+	}
+	if b.CounterBlockAddr(0) <= b.PreGatheredBlockAddr((16<<20)/4096-1) {
+		t.Fatal("counters overlap pre-gathered table")
+	}
+}
+
+func TestPreGatheredReach(t *testing.T) {
+	b, _, _ := testBase(t, true)
+	// One 64B pre-gathered block covers 256 pages = 1MB of OS memory.
+	if b.PreGatheredBlockAddr(0) != b.PreGatheredBlockAddr(255) {
+		t.Fatal("pages 0 and 255 should share a pre-gathered block")
+	}
+	if b.PreGatheredBlockAddr(0) == b.PreGatheredBlockAddr(256) {
+		t.Fatal("page 256 should start a new pre-gathered block")
+	}
+	// Unified blocks cover 8 pages = 32KB.
+	if b.UnifiedBlockAddr(0) != b.UnifiedBlockAddr(7) ||
+		b.UnifiedBlockAddr(0) == b.UnifiedBlockAddr(8) {
+		t.Fatal("unified block should cover exactly 8 units")
+	}
+}
+
+func TestExpandUnitFunctional(t *testing.T) {
+	b, _, _ := testBase(t, false)
+	b.SetFunctional(true)
+	served := false
+	b.ExpandUnit(5, func() { served = true })
+	if !served {
+		t.Fatal("functional expansion did not complete inline")
+	}
+	if b.Level(5) != ML1 {
+		t.Fatalf("level = %d, want ML1", b.Level(5))
+	}
+	if b.S.Expansions.Value() != 1 {
+		t.Fatal("expansion not counted")
+	}
+	if !b.Rec.Contains(5) {
+		t.Fatal("expanded unit missing from Recency List")
+	}
+}
+
+func TestExpandUnitTimed(t *testing.T) {
+	b, eng, d := testBase(t, false)
+	var doneAt engine.Time
+	b.ExpandUnit(9, func() { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt == 0 {
+		t.Fatal("timed expansion never completed")
+	}
+	// Must include at least the 280ns decompression.
+	if doneAt < 280*engine.Nanosecond {
+		t.Fatalf("expansion done at %v, must include decompression latency", doneAt)
+	}
+	if d.Stats().ClassBytes(dram.ClassMigration) == 0 {
+		t.Fatal("expansion generated no migration traffic")
+	}
+	// Chunk read + 64-block frame write must both appear.
+	if d.Stats().Writes.Value() < 64 {
+		t.Fatalf("frame write-back bursts = %d, want >= 64", d.Stats().Writes.Value())
+	}
+}
+
+func TestConcurrentExpansionDeduplicated(t *testing.T) {
+	b, eng, _ := testBase(t, false)
+	done := 0
+	b.ExpandUnit(3, func() { done++ })
+	b.ExpandUnit(3, func() { done++ })
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("both requesters must complete, got %d", done)
+	}
+	if b.S.Expansions.Value() != 1 {
+		t.Fatalf("expansions = %d, want 1 (deduplicated)", b.S.Expansions.Value())
+	}
+}
+
+func TestCompressUnitRoundTrip(t *testing.T) {
+	b, _, _ := testBase(t, false)
+	b.SetFunctional(true)
+	b.ExpandUnit(7, nil)
+	free := b.Space.FreeFrameBytes()
+	b.CompressUnit(7)
+	if b.Level(7) != ML2 {
+		t.Fatal("unit not recompressed")
+	}
+	if b.Space.FreeFrameBytes() <= free-4096 {
+		t.Fatal("compression did not free the frame")
+	}
+	if b.Rec.Contains(7) {
+		t.Fatal("compressed unit still in Recency List")
+	}
+}
+
+func TestCheckPressureCompressesColdest(t *testing.T) {
+	b, _, _ := testBase(t, false)
+	b.SetFunctional(true)
+	// Expand units until free frames drop below the 1MB target.
+	u := uint64(0)
+	for b.Space.FreeFrameBytes() >= b.P.FreeTargetBytes+4096 {
+		b.ExpandUnit(u, nil)
+		u++
+	}
+	// Expand a few more; pressure response keeps the watermark.
+	for i := 0; i < 32; i++ {
+		b.ExpandUnit(u, nil)
+		u++
+		b.CheckPressure()
+	}
+	if b.Space.FreeFrameBytes() < b.P.FreeTargetBytes {
+		t.Fatalf("free frames %d below target %d after pressure response",
+			b.Space.FreeFrameBytes(), b.P.FreeTargetBytes)
+	}
+	if b.S.Compressions.Value() == 0 {
+		t.Fatal("no background compressions happened")
+	}
+}
+
+func TestEnsureFrameEmergencyCompression(t *testing.T) {
+	b, _, _ := testBase(t, false)
+	b.SetFunctional(true)
+	// Populate the Recency List with uncompressed victims (each expansion
+	// also returns its old chunk to the free lists).
+	for u := uint64(0); u < 50; u++ {
+		b.ExpandUnit(u, nil)
+	}
+	// Drain the Free List completely.
+	for {
+		if _, ok := b.Space.AllocFrame(); !ok {
+			break
+		}
+	}
+	_, stall, ok := b.EnsureFrame()
+	if !ok {
+		t.Fatal("emergency compression failed")
+	}
+	if stall == 0 {
+		t.Fatal("emergency compression must add stall latency")
+	}
+	if b.S.Compressions.Value() == 0 {
+		t.Fatal("no victim was compressed")
+	}
+}
+
+func TestRecencySampling(t *testing.T) {
+	b, _, _ := testBase(t, false)
+	b.SetFunctional(true)
+	b.ExpandUnit(1, nil)
+	b.ExpandUnit(2, nil)
+	// Recency head updates only once every RecencySamplePeriod requests.
+	for i := 0; i < b.P.RecencySamplePeriod-1; i++ {
+		b.TouchRecency(2)
+	}
+	if tail, _ := b.Rec.Tail(); tail != 1 {
+		t.Fatalf("tail = %d; list should still have 1 at tail", tail)
+	}
+	b.TouchRecency(2) // the sampled one
+	b.TouchRecency(1)
+	if tail, _ := b.Rec.Tail(); tail != 1 {
+		// after sampling, 2 moved to head, so tail is still 1
+		t.Fatalf("unexpected tail %d", tail)
+	}
+}
+
+func TestFetchCTEBlockCachesAndDedups(t *testing.T) {
+	b, eng, d := testBase(t, false)
+	blk := b.UnifiedBlockAddr(0)
+	got := 0
+	b.FetchCTEBlock(blk, true, func() { got++ })
+	b.FetchCTEBlock(blk, true, func() { got++ })
+	eng.Run()
+	if got != 2 {
+		t.Fatalf("callbacks = %d", got)
+	}
+	if !b.CTE.Probe(blk) {
+		t.Fatal("fetched block not cached")
+	}
+	if d.Stats().ClassBursts[dram.ClassCTE].Value() != 1 {
+		t.Fatalf("CTE DRAM reads = %d, want 1 (deduplicated)",
+			d.Stats().ClassBursts[dram.ClassCTE].Value())
+	}
+}
+
+func TestDataAccessReadWaitsWritePosted(t *testing.T) {
+	b, eng, d := testBase(t, false)
+	b.SetFunctional(true)
+	b.ExpandUnit(0, nil)
+	b.SetFunctional(false)
+	var readDone engine.Time
+	b.DataAccess(100, false, func() { readDone = eng.Now() })
+	writeDone := false
+	b.DataAccess(200, true, func() { writeDone = true })
+	if !writeDone {
+		t.Fatal("write should be posted (done immediately)")
+	}
+	eng.Run()
+	if readDone == 0 {
+		t.Fatal("read never completed")
+	}
+	if d.Stats().Reads.Value() != 1 || d.Stats().Writes.Value() != 1 {
+		t.Fatalf("DRAM ops = %dR/%dW", d.Stats().Reads.Value(), d.Stats().Writes.Value())
+	}
+}
+
+func TestNoCompBaseline(t *testing.T) {
+	eng := engine.New()
+	d := dram.NewController(eng, dram.DDR4(1, 1, 256)) // 32MB
+	n := NewNoComp(eng, d, 16<<20)
+	doneR := false
+	n.Access(4096, false, func() { doneR = true })
+	n.Access(8192, true, nil)
+	eng.Run()
+	if !doneR {
+		t.Fatal("read never completed")
+	}
+	if n.Stats().Requests.Value() != 2 {
+		t.Fatal("request count wrong")
+	}
+	if n.Stats().ReadLatency.Count() != 1 {
+		t.Fatal("read latency not observed")
+	}
+}
+
+func TestNoCompPanicsWhenTooSmall(t *testing.T) {
+	eng := engine.New()
+	d := dram.NewController(eng, dram.DDR4(1, 1, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNoComp(eng, d, 1<<30)
+}
+
+func TestCoarseGranularityUnits(t *testing.T) {
+	eng := engine.New()
+	d := dram.NewController(eng, dram.DDR4(1, 1, 96))
+	b := NewBase(Params{
+		Eng: eng, DRAM: d,
+		OSBytes:         16 << 20,
+		Granularity:     64 << 10,
+		SizeModel:       comp.NewSizeModel(1, 3.4),
+		FreeTargetBytes: 1 << 20,
+	})
+	if b.NumUnits() != (16<<20)/(64<<10) {
+		t.Fatalf("units = %d", b.NumUnits())
+	}
+	// A 64KB expansion decompresses 16 pages: latency must scale.
+	if got := b.P.CompLatency.For(64 << 10); got != 16*280*engine.Nanosecond {
+		t.Fatalf("64KB decompression latency = %v", got)
+	}
+	b.SetFunctional(true)
+	b.ExpandUnit(0, nil)
+	if b.Level(0) != ML1 {
+		t.Fatal("coarse expansion failed")
+	}
+	// Frame occupies 64KB of machine space.
+	if b.Space.FrameBytes() != 64<<10 {
+		t.Fatal("frame bytes wrong")
+	}
+}
+
+func TestHugeFootprintDoesNotFitPanics(t *testing.T) {
+	eng := engine.New()
+	d := dram.NewController(eng, dram.DDR4(1, 1, 16)) // 2MB DRAM
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for infeasible packing")
+		}
+	}()
+	NewBase(Params{
+		Eng: eng, DRAM: d,
+		OSBytes:   64 << 20,
+		SizeModel: comp.NewSizeModel(1, 1.2), // barely compressible
+	})
+}

@@ -1,0 +1,240 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dylect/internal/comp"
+	"dylect/internal/dram"
+	"dylect/internal/engine"
+)
+
+func groupBase(t *testing.T) *Base {
+	t.Helper()
+	eng := engine.New()
+	d := dram.NewController(eng, dram.DDR4(1, 1, 96)) // 12MB
+	b := NewBase(Params{
+		Eng: eng, DRAM: d,
+		OSBytes:          16 << 20,
+		SizeModel:        comp.NewSizeModel(5, 3.4),
+		FreeTargetBytes:  512 << 10,
+		WithDyLeCTTables: true,
+	})
+	b.SetFunctional(true)
+	return b
+}
+
+func TestGroupBaseProperties(t *testing.T) {
+	b := groupBase(t)
+	m := b.Space.NumFrames()
+	g := b.P.GroupSize
+	groups := m / g
+	for u := uint64(0); u < 100; u++ {
+		base := b.GroupBase(u)
+		if base%g != 0 {
+			t.Fatalf("group base %d not aligned to %d", base, g)
+		}
+		if base+g > m {
+			t.Fatalf("group [%d,%d) beyond %d frames", base, base+g, m)
+		}
+		// Adjacent units never share a group (the multiplication by G).
+		if b.GroupBase(u) == b.GroupBase(u+1) && groups > 1 {
+			t.Fatalf("units %d and %d share a group", u, u+1)
+		}
+		// Units exactly `groups` apart do share one.
+		if b.GroupBase(u) != b.GroupBase(u+groups) {
+			t.Fatal("hash period wrong")
+		}
+	}
+}
+
+func TestGroupSlotsContiguous(t *testing.T) {
+	b := groupBase(t)
+	slots := b.GroupSlots(42)
+	if len(slots) != 3 {
+		t.Fatalf("G=3 but %d slots", len(slots))
+	}
+	for i := 1; i < len(slots); i++ {
+		if slots[i] != slots[i-1]+1 {
+			t.Fatal("group slots must be adjacent DRAM frames")
+		}
+	}
+}
+
+func TestPromoteIntoFreeSlot(t *testing.T) {
+	b := groupBase(t)
+	// Expand a unit, then free its group's first slot by construction:
+	// displace whatever chunk frame occupies it.
+	u := uint64(9)
+	b.ExpandUnit(u, nil)
+	if !b.TryPromote(u, 2) {
+		t.Fatalf("promotion failed (slot owners: %v %v %v)",
+			b.FrameOwner(b.GroupSlots(u)[0]), b.FrameOwner(b.GroupSlots(u)[1]),
+			b.FrameOwner(b.GroupSlots(u)[2]))
+	}
+	if b.Level(u) != ML0 {
+		t.Fatal("promoted unit not in ML0")
+	}
+	frame := b.ShortCTEFrame(u)
+	if b.FrameOwner(frame) != int64(u) {
+		t.Fatal("short CTE does not resolve to the unit's frame")
+	}
+	if b.ShortCTE(u) >= uint8(b.P.GroupSize) {
+		t.Fatal("short CTE still INVALID after promotion")
+	}
+}
+
+func TestPromoteRequiresML1(t *testing.T) {
+	b := groupBase(t)
+	if b.TryPromote(3, 2) {
+		t.Fatal("promoted an ML2 unit")
+	}
+	b.ExpandUnit(3, nil)
+	if !b.TryPromote(3, 2) {
+		t.Fatal("promotion of ML1 unit failed")
+	}
+	if b.TryPromote(3, 2) {
+		t.Fatal("promoted an already-ML0 unit")
+	}
+}
+
+func TestDemoteToML1RoundTrip(t *testing.T) {
+	b := groupBase(t)
+	u := uint64(7)
+	b.ExpandUnit(u, nil)
+	b.TryPromote(u, 2)
+	if b.Level(u) != ML0 {
+		t.Skip("unit did not promote")
+	}
+	if !b.DemoteToML1(u) {
+		t.Fatal("demotion failed")
+	}
+	if b.Level(u) != ML1 || b.ShortCTE(u) != uint8(b.P.GroupSize) {
+		t.Fatal("demoted unit state wrong")
+	}
+	if b.DemoteToML1(u) {
+		t.Fatal("demoting an ML1 unit should fail")
+	}
+}
+
+func TestDisplaceChunkFrameRelocatesResidents(t *testing.T) {
+	b := groupBase(t)
+	// Frame 0 was carved during initial packing: find its residents.
+	var frame uint64
+	found := false
+	for f := uint64(0); f < b.Space.NumFrames(); f++ {
+		if b.FrameHoldsChunks(f) && len(b.residents[f]) > 0 {
+			frame, found = f, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no chunk frame with residents")
+	}
+	res := append([]uint64(nil), b.residents[frame]...)
+	if !b.DisplaceChunkFrame(frame) {
+		t.Fatal("displacement failed")
+	}
+	if !b.Space.FrameIsFree(frame) {
+		t.Fatal("displaced frame not freed")
+	}
+	for _, q := range res {
+		if b.Level(q) != ML2 {
+			continue
+		}
+		if b.Space.FrameOf(b.UnitAddr(q)) == frame {
+			t.Fatalf("resident %d still points into the displaced frame", q)
+		}
+	}
+}
+
+// Property: after arbitrary expand/promote/demote/compress churn, the
+// structural invariants hold: ML0 short CTEs resolve to frames owned by
+// their unit within their group; data-frame ownership is consistent; no
+// unit is lost.
+func TestPropertyChurnInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	b := groupBase(t)
+	n := b.NumUnits()
+	for i := 0; i < 30000; i++ {
+		u := uint64(rng.Intn(int(n)))
+		switch rng.Intn(5) {
+		case 0, 1:
+			if b.Level(u) == ML2 {
+				b.ExpandUnit(u, nil)
+			}
+		case 2:
+			b.BumpCounter(u)
+			b.TryPromote(u, 2)
+		case 3:
+			b.DemoteToML1(u)
+		default:
+			b.CompressUnit(u)
+		}
+		b.CheckPressure()
+	}
+	ml0, ml1, ml2 := b.LevelCounts()
+	if ml0+ml1+ml2 != n {
+		t.Fatalf("units lost: %d+%d+%d != %d", ml0, ml1, ml2, n)
+	}
+	for u := uint64(0); u < n; u++ {
+		switch b.Level(u) {
+		case ML0:
+			f := b.ShortCTEFrame(u)
+			if b.FrameOwner(f) != int64(u) {
+				t.Fatalf("ML0 unit %d: frame %d owned by %d", u, f, b.FrameOwner(f))
+			}
+			base := b.GroupBase(u)
+			if f < base || f >= base+b.P.GroupSize {
+				t.Fatalf("ML0 unit %d outside its group", u)
+			}
+			if b.Space.FrameIsFree(f) {
+				t.Fatalf("ML0 unit %d sits in a free frame", u)
+			}
+		case ML1:
+			f := b.Space.FrameOf(b.UnitAddr(u))
+			if b.FrameOwner(f) != int64(u) {
+				t.Fatalf("ML1 unit %d: frame %d owned by %d", u, f, b.FrameOwner(f))
+			}
+			if b.ShortCTE(u) != uint8(b.P.GroupSize) {
+				t.Fatalf("ML1 unit %d has a valid short CTE", u)
+			}
+		}
+	}
+}
+
+// Property: DRAM byte conservation across churn — level bytes plus free
+// bytes never exceed the machine space.
+func TestPropertySpaceConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := groupBase(t)
+	total := b.Space.NumFrames() * b.Space.FrameBytes()
+	for i := 0; i < 5000; i++ {
+		u := uint64(rng.Intn(int(b.NumUnits())))
+		if b.Level(u) == ML2 {
+			b.ExpandUnit(u, nil)
+		} else if rng.Intn(2) == 0 {
+			b.CompressUnit(u)
+		} else {
+			b.BumpCounter(u)
+			b.TryPromote(u, 1)
+		}
+		if i%500 == 0 {
+			ml0, ml1, ml2, free := b.SpaceUsage()
+			if ml0+ml1+ml2+free > total {
+				t.Fatalf("accounting exceeds DRAM: %d+%d+%d+%d > %d",
+					ml0, ml1, ml2, free, total)
+			}
+		}
+	}
+}
+
+func TestBumpCounterSaturation(t *testing.T) {
+	b := groupBase(t)
+	for i := 0; i < 100; i++ {
+		b.BumpCounter(1)
+	}
+	if b.Counter(1) > counterMax {
+		t.Fatalf("counter exceeded 5-bit max: %d", b.Counter(1))
+	}
+}

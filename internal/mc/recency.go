@@ -1,0 +1,93 @@
+package mc
+
+// Recency is TMCC's Recency List: an intrusive doubly-linked list over
+// uncompressed units, updated with the most-recently-accessed unit once
+// every 100 memory requests (the sampling lives in the caller). Its tail is
+// the compression victim. Units are dense indices (OS page / unit numbers),
+// so the list is two int32 arrays rather than a pointer structure.
+type Recency struct {
+	next   []int32 // towards tail
+	prev   []int32 // towards head
+	inList []bool
+	head   int32
+	tail   int32
+	count  int
+}
+
+const nilNode = int32(-1)
+
+// NewRecency builds a list able to hold units [0, n).
+func NewRecency(n uint64) *Recency {
+	r := &Recency{
+		next:   make([]int32, n),
+		prev:   make([]int32, n),
+		inList: make([]bool, n),
+		head:   nilNode,
+		tail:   nilNode,
+	}
+	for i := range r.next {
+		r.next[i], r.prev[i] = nilNode, nilNode
+	}
+	return r
+}
+
+// Len returns the number of units in the list.
+func (r *Recency) Len() int { return r.count }
+
+// Contains reports whether unit u is in the list.
+func (r *Recency) Contains(u uint64) bool { return r.inList[u] }
+
+// Touch moves unit u to the head (inserting it if absent).
+func (r *Recency) Touch(u uint64) {
+	n := int32(u)
+	if r.inList[u] {
+		if r.head == n {
+			return
+		}
+		r.unlink(n)
+	} else {
+		r.inList[u] = true
+		r.count++
+	}
+	r.next[n] = r.head
+	r.prev[n] = nilNode
+	if r.head != nilNode {
+		r.prev[r.head] = n
+	}
+	r.head = n
+	if r.tail == nilNode {
+		r.tail = n
+	}
+}
+
+// Remove takes unit u out of the list (no-op if absent).
+func (r *Recency) Remove(u uint64) {
+	if !r.inList[u] {
+		return
+	}
+	r.unlink(int32(u))
+	r.inList[u] = false
+	r.count--
+}
+
+// Tail returns the least-recently-touched unit, or false when empty.
+func (r *Recency) Tail() (uint64, bool) {
+	if r.tail == nilNode {
+		return 0, false
+	}
+	return uint64(r.tail), true
+}
+
+func (r *Recency) unlink(n int32) {
+	if r.prev[n] != nilNode {
+		r.next[r.prev[n]] = r.next[n]
+	} else {
+		r.head = r.next[n]
+	}
+	if r.next[n] != nilNode {
+		r.prev[r.next[n]] = r.prev[n]
+	} else {
+		r.tail = r.prev[n]
+	}
+	r.next[n], r.prev[n] = nilNode, nilNode
+}

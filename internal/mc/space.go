@@ -1,0 +1,272 @@
+// Package mc is the hardware-memory-compression framework shared by the
+// TMCC baseline, the naive dynamic-length design, and DyLeCT: machine-space
+// management (the 4KB Free List plus TMCC's per-size-class irregular free
+// lists), the Recency List used to pick compression victims, the CTE cache,
+// CTE table layout in reserved DRAM, demand-adaptive background compression,
+// and the block-level DRAM traffic helpers every translator uses.
+package mc
+
+import (
+	"fmt"
+
+	"dylect/internal/comp"
+)
+
+// Space manages machine-physical memory in frames (the compression
+// granularity: 4KB by default, coarser for the Figure 6 sweeps) and
+// size-class chunks carved from frames for compressed data. It mirrors
+// TMCC's Free List (whole free frames) and irregular free lists (one per
+// chunk size class).
+type Space struct {
+	frameBytes uint64
+	chunkAlign uint64
+	nFrames    uint64
+	base       uint64 // machine byte address of frame 0
+
+	freeFrames []uint64       // stack of frame indices (lazy deletion)
+	frameFree  []bool         // truth: frame currently free
+	nFree      uint64         // count of free frames
+	freeChunks [][]uint64     // [class] -> stack of addrs (lazy deletion)
+	chunkOf    map[uint64]int // free chunk addr -> class (presence = free)
+	// byFrame tracks which free chunks live in each carved frame so a
+	// whole frame's free space can be reclaimed when the frame is
+	// displaced to host an ML0 page.
+	byFrame map[uint64]map[uint64]int
+
+	freeChunkBytes uint64
+}
+
+// NewSpace builds a space of nFrames frames of frameBytes each, starting at
+// machine byte address base. chunkAlign is the size-class granularity
+// (frameBytes/16, matching 256B classes for 4KB frames).
+func NewSpace(base uint64, nFrames, frameBytes uint64) *Space {
+	s := &Space{
+		frameBytes: frameBytes,
+		chunkAlign: frameBytes / comp.NumChunkClasses,
+		nFrames:    nFrames,
+		base:       base,
+		freeChunks: make([][]uint64, comp.NumChunkClasses),
+		chunkOf:    make(map[uint64]int),
+		byFrame:    make(map[uint64]map[uint64]int),
+	}
+	// Populate the Free List back to front so frame 0 allocates first.
+	s.freeFrames = make([]uint64, nFrames)
+	s.frameFree = make([]bool, nFrames)
+	for i := uint64(0); i < nFrames; i++ {
+		s.freeFrames[i] = nFrames - 1 - i
+		s.frameFree[i] = true
+	}
+	s.nFree = nFrames
+	return s
+}
+
+// FrameBytes returns the frame (compression granularity) size.
+func (s *Space) FrameBytes() uint64 { return s.frameBytes }
+
+// NumFrames returns the total number of frames.
+func (s *Space) NumFrames() uint64 { return s.nFrames }
+
+// FrameAddr returns the machine byte address of a frame.
+func (s *Space) FrameAddr(frame uint64) uint64 { return s.base + frame*s.frameBytes }
+
+// FrameOf returns the frame index containing a machine byte address.
+func (s *Space) FrameOf(addr uint64) uint64 { return (addr - s.base) / s.frameBytes }
+
+// FreeFrameBytes returns bytes held in whole free frames (what TMCC's
+// demand-adaptive compression maintains at 16MB).
+func (s *Space) FreeFrameBytes() uint64 { return s.nFree * s.frameBytes }
+
+// FrameIsFree reports whether a specific frame is on the Free List.
+func (s *Space) FrameIsFree(frame uint64) bool { return s.frameFree[frame] }
+
+// FreeChunkBytes returns bytes held in irregular free chunks.
+func (s *Space) FreeChunkBytes() uint64 { return s.freeChunkBytes }
+
+// ClassOf returns the size class index for a chunk size in bytes.
+func (s *Space) ClassOf(bytes uint64) int {
+	c := int((bytes + s.chunkAlign - 1) / s.chunkAlign)
+	if c < 1 {
+		c = 1
+	}
+	if c > comp.NumChunkClasses {
+		c = comp.NumChunkClasses
+	}
+	return c - 1
+}
+
+// ClassBytes returns the chunk size in bytes of a class index.
+func (s *Space) ClassBytes(class int) uint64 { return uint64(class+1) * s.chunkAlign }
+
+// AllocFrame pops a frame from the Free List, skipping stale (lazily
+// deleted) entries left behind by AllocSpecificFrame.
+func (s *Space) AllocFrame() (frame uint64, ok bool) {
+	for n := len(s.freeFrames); n > 0; n = len(s.freeFrames) {
+		frame = s.freeFrames[n-1]
+		s.freeFrames = s.freeFrames[:n-1]
+		if s.frameFree[frame] {
+			s.frameFree[frame] = false
+			s.nFree--
+			return frame, true
+		}
+	}
+	return 0, false
+}
+
+// AllocSpecificFrame claims one particular frame off the Free List (used
+// when promoting a page into its DRAM page group). The stack entry is
+// removed lazily. It reports whether the frame was free.
+func (s *Space) AllocSpecificFrame(frame uint64) bool {
+	if frame >= s.nFrames || !s.frameFree[frame] {
+		return false
+	}
+	s.frameFree[frame] = false
+	s.nFree--
+	return true
+}
+
+// FreeFrame returns a whole frame to the Free List.
+func (s *Space) FreeFrame(frame uint64) {
+	if frame >= s.nFrames {
+		panic(fmt.Sprintf("mc: freeing out-of-range frame %d", frame))
+	}
+	if s.frameFree[frame] {
+		panic(fmt.Sprintf("mc: double free of frame %d", frame))
+	}
+	s.frameFree[frame] = true
+	s.nFree++
+	s.freeFrames = append(s.freeFrames, frame)
+}
+
+// popClass pops the next live free chunk of a class, skipping stale stack
+// entries left by EvictFrameChunks.
+func (s *Space) popClass(class int) (uint64, bool) {
+	lst := s.freeChunks[class]
+	for len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		lst = lst[:len(lst)-1]
+		if c, live := s.chunkOf[addr]; live && c == class {
+			s.freeChunks[class] = lst
+			s.unregister(addr, class)
+			return addr, true
+		}
+	}
+	s.freeChunks[class] = lst
+	return 0, false
+}
+
+func (s *Space) register(addr uint64, class int) {
+	s.chunkOf[addr] = class
+	f := s.FrameOf(addr)
+	m := s.byFrame[f]
+	if m == nil {
+		m = make(map[uint64]int)
+		s.byFrame[f] = m
+	}
+	m[addr] = class
+	s.freeChunkBytes += s.ClassBytes(class)
+}
+
+func (s *Space) unregister(addr uint64, class int) {
+	delete(s.chunkOf, addr)
+	f := s.FrameOf(addr)
+	if m := s.byFrame[f]; m != nil {
+		delete(m, addr)
+		if len(m) == 0 {
+			delete(s.byFrame, f)
+		}
+	}
+	s.freeChunkBytes -= s.ClassBytes(class)
+}
+
+// AllocChunk finds space for a compressed page of the given class. It
+// prefers a tightly-fitting free chunk; then splits the smallest larger
+// free chunk; then carves a free frame, returning the remainder to the free
+// lists. It reports the machine byte address, whether a whole frame had to
+// be carved, and success.
+func (s *Space) AllocChunk(class int) (addr uint64, carvedFrame bool, ok bool) {
+	if addr, got := s.popClass(class); got {
+		return addr, false, true
+	}
+	// Split the smallest larger chunk.
+	for c := class + 1; c < comp.NumChunkClasses; c++ {
+		if big, got := s.popClass(c); got {
+			s.addRange(big+s.ClassBytes(class), s.ClassBytes(c)-s.ClassBytes(class))
+			return big, false, true
+		}
+	}
+	// Carve a fresh frame.
+	if frame, got := s.AllocFrame(); got {
+		base := s.FrameAddr(frame)
+		s.addRange(base+s.ClassBytes(class), s.frameBytes-s.ClassBytes(class))
+		return base, true, true
+	}
+	return 0, false, false
+}
+
+// FreeChunk returns a chunk to its size-class list. Adjacent free chunks
+// are not merged across class boundaries, but when every byte of a carved
+// frame is free again the frame is reclaimed whole onto the Free List (a
+// fully-freed 4KB region is a free DRAM page); the reclaimed frame index is
+// returned so the caller can update its ownership tracking.
+func (s *Space) FreeChunk(addr uint64, class int) (reclaimed uint64, wasReclaimed bool) {
+	if _, dup := s.chunkOf[addr]; dup {
+		panic(fmt.Sprintf("mc: double free of chunk %#x", addr))
+	}
+	if s.frameFree[s.FrameOf(addr)] {
+		panic(fmt.Sprintf("mc: freeing chunk %#x inside a free frame", addr))
+	}
+	s.register(addr, class)
+	s.freeChunks[class] = append(s.freeChunks[class], addr)
+	frame := s.FrameOf(addr)
+	if s.FreeChunkBytesInFrame(frame) == s.frameBytes {
+		s.EvictFrameChunks(frame)
+		s.FreeFrame(frame)
+		return frame, true
+	}
+	return 0, false
+}
+
+// FreeChunkBytesInFrame reports the free chunk bytes currently inside one
+// carved frame.
+func (s *Space) FreeChunkBytesInFrame(frame uint64) uint64 {
+	var total uint64
+	for _, class := range s.byFrame[frame] {
+		total += s.ClassBytes(class)
+	}
+	return total
+}
+
+// EvictFrameChunks removes every free chunk inside the frame from the free
+// lists (stack entries are lazily skipped later). Used when a carved frame
+// is displaced wholesale to host an uncompressed page.
+func (s *Space) EvictFrameChunks(frame uint64) {
+	m := s.byFrame[frame]
+	for addr, class := range m {
+		delete(s.chunkOf, addr)
+		s.freeChunkBytes -= s.ClassBytes(class)
+	}
+	delete(s.byFrame, frame)
+}
+
+// addRange splits an arbitrary free byte range into maximal class chunks.
+func (s *Space) addRange(addr, bytes uint64) {
+	for bytes >= s.chunkAlign {
+		sz := bytes
+		if sz > s.frameBytes {
+			sz = s.frameBytes
+		}
+		class := int(sz/s.chunkAlign) - 1
+		if class >= comp.NumChunkClasses {
+			class = comp.NumChunkClasses - 1
+		}
+		cb := s.ClassBytes(class)
+		s.FreeChunk(addr, class)
+		addr += cb
+		bytes -= cb
+	}
+}
+
+// TotalFreeBytes returns all free bytes (frames + chunks).
+func (s *Space) TotalFreeBytes() uint64 {
+	return s.FreeFrameBytes() + s.freeChunkBytes
+}

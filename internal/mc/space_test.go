@@ -1,0 +1,310 @@
+package mc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dylect/internal/comp"
+)
+
+func newTestSpace() *Space {
+	return NewSpace(0, 64, 4096) // 256KB
+}
+
+func TestSpaceFrameAllocation(t *testing.T) {
+	s := newTestSpace()
+	if s.FreeFrameBytes() != 64*4096 {
+		t.Fatalf("initial free = %d", s.FreeFrameBytes())
+	}
+	f, ok := s.AllocFrame()
+	if !ok || f != 0 {
+		t.Fatalf("first frame = %d ok=%v, want 0", f, ok)
+	}
+	if s.FreeFrameBytes() != 63*4096 {
+		t.Fatal("free not decremented")
+	}
+	s.FreeFrame(f)
+	if s.FreeFrameBytes() != 64*4096 {
+		t.Fatal("free not restored")
+	}
+}
+
+func TestSpaceExhaustion(t *testing.T) {
+	s := NewSpace(0, 2, 4096)
+	s.AllocFrame()
+	s.AllocFrame()
+	if _, ok := s.AllocFrame(); ok {
+		t.Fatal("allocation from empty Free List succeeded")
+	}
+}
+
+func TestFrameAddressing(t *testing.T) {
+	s := NewSpace(1<<20, 16, 4096)
+	if s.FrameAddr(3) != 1<<20+3*4096 {
+		t.Fatalf("FrameAddr(3) = %#x", s.FrameAddr(3))
+	}
+	if s.FrameOf(s.FrameAddr(7)+100) != 7 {
+		t.Fatal("FrameOf inverse failed")
+	}
+}
+
+func TestChunkClasses(t *testing.T) {
+	s := newTestSpace()
+	if s.ClassOf(1) != 0 || s.ClassOf(256) != 0 || s.ClassOf(257) != 1 || s.ClassOf(4096) != 15 {
+		t.Fatalf("class mapping wrong: %d %d %d %d",
+			s.ClassOf(1), s.ClassOf(256), s.ClassOf(257), s.ClassOf(4096))
+	}
+	if s.ClassBytes(0) != 256 || s.ClassBytes(15) != 4096 {
+		t.Fatal("class bytes wrong")
+	}
+}
+
+func TestChunkCarvingAndReuse(t *testing.T) {
+	s := newTestSpace()
+	// First chunk alloc carves a frame: 1KB chunk + 3KB remainder.
+	addr, carved, ok := s.AllocChunk(s.ClassOf(1024))
+	if !ok || !carved {
+		t.Fatalf("carve failed: ok=%v carved=%v", ok, carved)
+	}
+	if s.FreeChunkBytes() != 4096-1024 {
+		t.Fatalf("remainder = %d, want 3072", s.FreeChunkBytes())
+	}
+	// Second 1KB alloc should split the remainder, not carve a frame.
+	_, carved2, ok := s.AllocChunk(s.ClassOf(1024))
+	if !ok || carved2 {
+		t.Fatalf("second alloc carved a frame needlessly")
+	}
+	// Free and realloc the first: exact reuse.
+	s.FreeChunk(addr, s.ClassOf(1024))
+	got, carved3, ok := s.AllocChunk(s.ClassOf(1024))
+	if !ok || carved3 || got != addr {
+		t.Fatalf("exact reuse failed: got %#x want %#x", got, addr)
+	}
+}
+
+func TestChunkDoubleFreePanics(t *testing.T) {
+	s := newTestSpace()
+	addr, _, _ := s.AllocChunk(0)
+	s.FreeChunk(addr, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	s.FreeChunk(addr, 0)
+}
+
+// Property: allocated chunks never overlap each other and total free bytes
+// are conserved across carve/split operations.
+func TestPropertyChunkNonOverlap(t *testing.T) {
+	f := func(classes []uint8) bool {
+		s := NewSpace(0, 128, 4096)
+		type alloc struct {
+			addr uint64
+			size uint64
+		}
+		var allocs []alloc
+		for _, c := range classes {
+			class := int(c) % comp.NumChunkClasses
+			addr, _, ok := s.AllocChunk(class)
+			if !ok {
+				break
+			}
+			allocs = append(allocs, alloc{addr, s.ClassBytes(class)})
+		}
+		for i := range allocs {
+			for j := i + 1; j < len(allocs); j++ {
+				a, bk := allocs[i], allocs[j]
+				if a.addr < bk.addr+bk.size && bk.addr < a.addr+a.size {
+					return false
+				}
+			}
+		}
+		// Conservation: allocated + free == frames dedicated.
+		var allocBytes uint64
+		for _, a := range allocs {
+			allocBytes += a.size
+		}
+		return allocBytes+s.TotalFreeBytes() == 128*4096
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameReclamation(t *testing.T) {
+	s := NewSpace(0, 4, 4096)
+	// Carve one frame into a 1KB chunk + remainder.
+	addr, carved, ok := s.AllocChunk(s.ClassOf(1024))
+	if !ok || !carved {
+		t.Fatal("carve failed")
+	}
+	frame := s.FrameOf(addr)
+	if s.FrameIsFree(frame) {
+		t.Fatal("carved frame should be busy")
+	}
+	before := s.FreeFrameBytes()
+	// Freeing the chunk completes the frame: it must be reclaimed whole.
+	reclaimed, was := s.FreeChunk(addr, s.ClassOf(1024))
+	if !was || reclaimed != frame {
+		t.Fatalf("reclamation = (%d,%v), want frame %d", reclaimed, was, frame)
+	}
+	if !s.FrameIsFree(frame) {
+		t.Fatal("frame not back on the Free List")
+	}
+	if s.FreeFrameBytes() != before+4096 {
+		t.Fatalf("free frames %d, want %d", s.FreeFrameBytes(), before+4096)
+	}
+	if s.FreeChunkBytes() != 0 {
+		t.Fatalf("chunk fragments remain: %d bytes", s.FreeChunkBytes())
+	}
+	// The reclaimed frame can be re-carved.
+	if _, _, ok := s.AllocChunk(0); !ok {
+		t.Fatal("re-carve after reclamation failed")
+	}
+}
+
+func TestFreeChunkInFreeFramePanics(t *testing.T) {
+	s := NewSpace(0, 4, 4096)
+	addr, _, _ := s.AllocChunk(s.ClassOf(512))
+	s.FreeChunk(addr, s.ClassOf(512)) // frame reclaimed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic freeing a chunk inside a free frame")
+		}
+	}()
+	s.FreeChunk(addr, s.ClassOf(512))
+}
+
+// Property: alternating alloc/free churn conserves bytes and never leaves
+// both a free frame and live chunks in the same frame.
+func TestPropertyReclamationConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewSpace(0, 32, 4096)
+		type held struct {
+			addr  uint64
+			class int
+		}
+		var live []held
+		for _, op := range ops {
+			if op&1 == 0 || len(live) == 0 {
+				class := int(op>>1) % comp.NumChunkClasses
+				if addr, _, ok := s.AllocChunk(class); ok {
+					live = append(live, held{addr, class})
+				}
+			} else {
+				i := int(op>>1) % len(live)
+				h := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				s.FreeChunk(h.addr, h.class)
+			}
+		}
+		var liveBytes uint64
+		for _, h := range live {
+			liveBytes += s.ClassBytes(h.class)
+		}
+		// Live + free chunks + free frames ≤ capacity, and live chunks
+		// never sit inside frames marked free.
+		if liveBytes+s.TotalFreeBytes() > 32*4096 {
+			return false
+		}
+		for _, h := range live {
+			if s.FrameIsFree(s.FrameOf(h.addr)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecencyOrdering(t *testing.T) {
+	r := NewRecency(10)
+	r.Touch(1)
+	r.Touch(2)
+	r.Touch(3)
+	if tail, _ := r.Tail(); tail != 1 {
+		t.Fatalf("tail = %d, want 1", tail)
+	}
+	r.Touch(1) // move to head
+	if tail, _ := r.Tail(); tail != 2 {
+		t.Fatalf("tail after re-touch = %d, want 2", tail)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRecencyRemove(t *testing.T) {
+	r := NewRecency(10)
+	for _, u := range []uint64{5, 6, 7} {
+		r.Touch(u)
+	}
+	r.Remove(5) // tail
+	if tail, _ := r.Tail(); tail != 6 {
+		t.Fatalf("tail = %d, want 6", tail)
+	}
+	r.Remove(7) // head
+	if tail, ok := r.Tail(); !ok || tail != 6 {
+		t.Fatalf("tail = %d ok=%v", tail, ok)
+	}
+	r.Remove(6)
+	if _, ok := r.Tail(); ok {
+		t.Fatal("empty list has a tail")
+	}
+	r.Remove(6) // double remove is a no-op
+	if r.Len() != 0 {
+		t.Fatal("len after removals != 0")
+	}
+}
+
+func TestRecencyTouchHeadNoop(t *testing.T) {
+	r := NewRecency(4)
+	r.Touch(0)
+	r.Touch(1)
+	r.Touch(1) // already head
+	if tail, _ := r.Tail(); tail != 0 {
+		t.Fatal("head re-touch corrupted list")
+	}
+}
+
+// Property: the recency list is a permutation of the touched set — every
+// touched unit reachable from the head exactly once.
+func TestPropertyRecencyIntegrity(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewRecency(16)
+		live := map[uint64]bool{}
+		for _, op := range ops {
+			u := uint64(op % 16)
+			if op&0x80 != 0 {
+				r.Remove(u)
+				delete(live, u)
+			} else {
+				r.Touch(u)
+				live[u] = true
+			}
+		}
+		if r.Len() != len(live) {
+			return false
+		}
+		seen := map[int32]bool{}
+		n := 0
+		for cur := r.head; cur != nilNode; cur = r.next[cur] {
+			if seen[cur] || !live[uint64(cur)] {
+				return false
+			}
+			seen[cur] = true
+			n++
+			if n > 16 {
+				return false // cycle
+			}
+		}
+		return n == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

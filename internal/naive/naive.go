@@ -1,0 +1,184 @@
+// Package naive implements the strawman dynamic-length design the paper
+// quantifies in Section IV-A3, used as an ablation: every uncompressed page
+// uses a short CTE (so each page expansion must displace whatever occupies
+// its DRAM page group — the double-movement bandwidth problem) and short and
+// long CTEs live in two separate 64KB caches. Short CTEs gathered from a
+// fetched unified block share a tiny 2-byte cacheline whose tag overhead
+// wastes most of the cache area (Figure 9, Option A); long CTEs get 8-byte
+// lines. The paper measures this design at a 76% CTE hit rate and a 5%
+// performance loss versus TMCC; DESIGN.md's ablation bench reproduces the
+// comparison.
+package naive
+
+import (
+	"dylect/internal/cache"
+	"dylect/internal/mc"
+)
+
+// Controller is the naive dual-cache dynamic-length translator.
+type Controller struct {
+	*mc.Base
+	// shortCache holds gathered 2B lines of eight 2-bit short CTEs. A 64KB
+	// budget at ~6B per line (2B data + 4B tag) leaves ~10922 usable lines.
+	shortCache *cache.Cache
+	// longCache holds one 8B long CTE per line; 64KB / 8B = 8192 entries.
+	longCache *cache.Cache
+}
+
+// shortLineBytes is the gathered short-CTE line: 8 pages x 2 bits.
+const shortLineBytes = 2
+
+// New builds the naive design. The CTE cache budget (Params.CTECacheBytes,
+// 128KB at paper scale) is split into two equal dedicated caches, matching
+// the paper's two 64KB caches; the short cache pays a 4B-tag-per-2B-line
+// area overhead inside its budget (Figure 9, Option A).
+func New(p mc.Params) *Controller {
+	p.WithDyLeCTTables = true // short CTEs exist; reserve the side tables
+	b := mc.NewBase(p)
+	half := b.P.CTECacheBytes / 2
+	shortLines := half / 6 // 2B data + 4B tag per line
+	shortLines -= shortLines % 8
+	if shortLines < 8 {
+		shortLines = 8
+	}
+	return &Controller{
+		Base: b,
+		shortCache: cache.New(cache.Config{
+			SizeBytes: shortLines * shortLineBytes, LineBytes: shortLineBytes, Assoc: 8,
+		}),
+		longCache: cache.New(cache.Config{
+			SizeBytes: half &^ 7, LineBytes: 8, Assoc: 8,
+		}),
+	}
+}
+
+// Stats implements mc.Translator.
+func (c *Controller) Stats() *mc.Stats { return &c.S }
+
+// Warm implements mc.Translator.
+func (c *Controller) Warm(addr uint64, write bool) {
+	c.SetFunctional(true)
+	c.Access(addr, write, nil)
+	c.SetFunctional(false)
+}
+
+// shortKey addresses the gathered line covering unit u's group of 8.
+func (c *Controller) shortKey(u uint64) uint64 { return u / 8 * shortLineBytes }
+
+// longKey addresses unit u's entry in the long-CTE cache namespace.
+func (c *Controller) longKey(u uint64) uint64 { return u * 8 }
+
+// Access implements mc.Translator.
+func (c *Controller) Access(addr uint64, write bool, done func()) {
+	c.S.Requests.Inc()
+	u := c.UnitOf(addr)
+	start := c.Eng.Now()
+
+	finish := done
+	if !write && !c.Functional() {
+		finish = func() {
+			c.S.ReadLatency.Observe((c.Eng.Now() - start).Nanoseconds())
+			if done != nil {
+				done()
+			}
+		}
+	}
+	proceed := func() { c.serve(u, addr, write, finish) }
+
+	var hit bool
+	if c.Level(u) != mc.ML2 {
+		hit = c.shortCache.Access(c.shortKey(u), false)
+	} else {
+		hit = c.longCache.Access(c.longKey(u), false)
+	}
+	if c.P.PerfectCTE {
+		hit = true
+	}
+	if hit {
+		c.S.CTEHits.Inc()
+		c.After(c.P.CTEHitLatency, proceed)
+		return
+	}
+	c.S.CTEMisses.Inc()
+	c.After(c.P.CTEHitLatency, func() {
+		c.FetchCTEBlock(c.UnifiedBlockAddr(u), false, func() {
+			// Gather the block's short CTEs into the short cache and
+			// insert the long CTE that was used.
+			c.shortCache.Fill(c.shortKey(u), false)
+			if c.Level(u) == mc.ML2 {
+				c.longCache.Fill(c.longKey(u), false)
+			}
+			proceed()
+		})
+	})
+}
+
+// serve performs the data access. Expansions suffer the double-movement
+// problem: the expanded page must land in one of its group's frames, so a
+// current occupant is first displaced to a Free List frame.
+func (c *Controller) serve(u, addr uint64, write bool, finish func()) {
+	c.TouchRecency(u)
+	if c.Level(u) == mc.ML2 {
+		if write {
+			c.ExpandUnit(u, func() { c.displaceIntoGroup(u) })
+			if finish != nil {
+				finish()
+			}
+		} else {
+			c.ExpandUnit(u, func() {
+				c.displaceIntoGroup(u)
+				if finish != nil {
+					finish()
+				}
+			})
+		}
+	} else {
+		c.DataAccess(addr, write, finish)
+	}
+	c.CheckPressure()
+}
+
+// displaceIntoGroup forces a freshly expanded unit into its DRAM page
+// group, displacing an occupant when every slot is taken (the second page
+// movement of Section IV-A1).
+func (c *Controller) displaceIntoGroup(u uint64) {
+	if c.Level(u) != mc.ML1 {
+		return
+	}
+	slots := c.GroupSlots(u)
+	// Free slot: single movement.
+	for _, s := range slots {
+		if c.Space.FrameIsFree(s) {
+			if c.Space.AllocSpecificFrame(s) {
+				c.MoveToSlot(u, s)
+				return
+			}
+		}
+	}
+	// Displace an occupant: chunk frames move their compressed residents,
+	// data frames move the uncompressed page — either way the expansion
+	// pays the double movement of Section IV-A1.
+	for _, s := range slots {
+		if c.FrameHoldsChunks(s) {
+			if !c.DisplaceChunkFrame(s) || c.Level(u) != mc.ML1 {
+				continue
+			}
+			if c.Space.AllocSpecificFrame(s) {
+				c.MoveToSlot(u, s)
+				return
+			}
+			continue
+		}
+		owner := c.FrameOwner(s)
+		if owner < 0 || uint64(owner) == u {
+			continue
+		}
+		if c.DisplaceAndClaim(u, s) {
+			return
+		}
+	}
+	// No usable slot: the page stays with a long CTE (still counted by the
+	// short cache path; the design wastes the slot).
+}
+
+var _ mc.Translator = (*Controller)(nil)

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders a labeled horizontal ASCII bar chart — the harness's
+// stand-in for the paper's figures when results are read in a terminal.
+type BarChart struct {
+	Title string
+	// Max sets the axis maximum; 0 auto-scales to the largest value.
+	Max float64
+	// Width is the bar area width in characters (default 40).
+	Width int
+
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, Width: 40}
+}
+
+// Add appends one bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.labels = append(b.labels, label)
+	b.values = append(b.values, value)
+}
+
+// String renders the chart.
+func (b *BarChart) String() string {
+	if len(b.values) == 0 {
+		return b.Title + "\n(no data)\n"
+	}
+	max := b.Max
+	if max <= 0 {
+		for _, v := range b.values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	for _, l := range b.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title)
+		sb.WriteByte('\n')
+	}
+	for i, l := range b.labels {
+		v := b.values[i]
+		n := int(v / max * float64(width))
+		if n > width {
+			n = width
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.3g\n", labelW, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return sb.String()
+}

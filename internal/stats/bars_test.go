@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasic(t *testing.T) {
+	b := NewBarChart("Speedup")
+	b.Add("bfs", 1.0)
+	b.Add("canneal", 2.0)
+	s := b.String()
+	if !strings.Contains(s, "Speedup") || !strings.Contains(s, "bfs") {
+		t.Fatalf("missing title/labels:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	// canneal's bar (max) must be longer than bfs's.
+	bfsBar := strings.Count(lines[1], "#")
+	canBar := strings.Count(lines[2], "#")
+	if canBar <= bfsBar {
+		t.Fatalf("bar scaling wrong: bfs=%d canneal=%d", bfsBar, canBar)
+	}
+	if canBar != 40 {
+		t.Fatalf("max bar should fill the default width, got %d", canBar)
+	}
+}
+
+func TestBarChartFixedMax(t *testing.T) {
+	b := NewBarChart("")
+	b.Max = 4
+	b.Width = 20
+	b.Add("half", 2)
+	s := b.String()
+	if got := strings.Count(s, "#"); got != 10 {
+		t.Fatalf("half of width 20 should be 10 hashes, got %d", got)
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	b := NewBarChart("empty")
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	b.Add("zero", 0)
+	b.Add("neg", -1)
+	s := b.String()
+	if strings.Count(s, "#") != 0 {
+		t.Fatalf("non-positive values must render empty bars:\n%s", s)
+	}
+	// Overflow clamps.
+	c := NewBarChart("clamp")
+	c.Max = 1
+	c.Add("big", 100)
+	if strings.Count(c.String(), "#") != 40 {
+		t.Fatal("overflowing bar must clamp to width")
+	}
+}

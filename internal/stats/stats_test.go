@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after Reset = %d, want 0", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(1, 4); r != 0.25 {
+		t.Fatalf("Ratio(1,4) = %v", r)
+	}
+	if r := Ratio(1, 0); r != 0 {
+		t.Fatalf("Ratio(1,0) = %v, want 0", r)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	for _, v := range []float64{1, 2, 3, 4} {
+		a.Observe(v)
+	}
+	if a.Mean() != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 4 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Count() != 4 || a.Sum() != 10 {
+		t.Fatalf("Count/Sum = %v/%v", a.Count(), a.Sum())
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(a.StdDev()-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", a.StdDev(), want)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.StdDev() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	for _, v := range []float64{0.5, 1.5, 1.6, 9.9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.buckets[0] != 1 || h.buckets[1] != 2 || h.buckets[9] != 1 || h.overflow != 1 {
+		t.Fatalf("bucket layout wrong: %v overflow=%d", h.buckets, h.overflow)
+	}
+	if p := h.Percentile(0.5); p != 1.5 {
+		t.Fatalf("p50 = %v, want 1.5", p)
+	}
+}
+
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := NewHistogram(4, 1)
+	if h.Percentile(0.99) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
+	}
+}
+
+// Property: accumulator mean always lies within [min, max].
+func TestPropertyAccumulatorBounds(t *testing.T) {
+	f := func(vs []float64) bool {
+		var a Accumulator
+		any := false
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				continue // avoid float64 overflow of the running sum
+			}
+			a.Observe(v)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		return a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram never loses samples.
+func TestPropertyHistogramConservation(t *testing.T) {
+	f := func(vs []uint8) bool {
+		h := NewHistogram(16, 4)
+		for _, v := range vs {
+			h.Observe(float64(v))
+		}
+		var sum uint64
+		for _, b := range h.buckets {
+			sum += b
+		}
+		return sum+h.overflow == uint64(len(vs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "Benchmark", "Speedup")
+	tb.AddRow("bfs", 1.2345)
+	tb.AddRow("canneal", 2.0)
+	s := tb.String()
+	if !strings.Contains(s, "Figure X") || !strings.Contains(s, "Benchmark") {
+		t.Fatalf("missing title/header in:\n%s", s)
+	}
+	if !strings.Contains(s, "1.234") || !strings.Contains(s, "2") {
+		t.Fatalf("missing values in:\n%s", s)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g := GeoMean([]float64{1, 4})
+	if math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) should be 0")
+	}
+	// Non-positive entries ignored.
+	if g := GeoMean([]float64{-1, 0, 9, 1}); math.Abs(g-3) > 1e-12 {
+		t.Fatalf("GeoMean with junk = %v, want 3", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]float64{"b": 1, "a": 2, "c": 3}
+	ks := SortedKeys(m)
+	if len(ks) != 3 || ks[0] != "a" || ks[2] != "c" {
+		t.Fatalf("SortedKeys = %v", ks)
+	}
+}

@@ -1,0 +1,341 @@
+package system
+
+import (
+	"fmt"
+
+	"dylect/internal/comp"
+	"dylect/internal/core"
+	"dylect/internal/dram"
+	"dylect/internal/engine"
+	"dylect/internal/mc"
+	"dylect/internal/naive"
+	"dylect/internal/tlb"
+	"dylect/internal/tmcc"
+	"dylect/internal/trace"
+)
+
+// Design selects the memory-controller design under test.
+type Design int
+
+// The evaluated designs.
+const (
+	DesignNoComp Design = iota // bigger conventional memory, no compression
+	DesignTMCC                 // the prior-art baseline
+	DesignDyLeCT               // the paper's contribution
+	DesignNaive                // Section IV-A3 strawman
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d {
+	case DesignNoComp:
+		return "nocomp"
+	case DesignTMCC:
+		return "tmcc"
+	case DesignDyLeCT:
+		return "dylect"
+	case DesignNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("design(%d)", int(d))
+}
+
+// Setting selects the paper's compression settings (Table 2).
+type Setting int
+
+// Compression settings.
+const (
+	SettingLow  Setting = iota // low compression: bigger DRAM
+	SettingHigh                // high compression: small DRAM
+	SettingNone                // DRAM fits the whole footprint (no compression)
+)
+
+// String names the setting.
+func (s Setting) String() string {
+	switch s {
+	case SettingLow:
+		return "low"
+	case SettingHigh:
+		return "high"
+	case SettingNone:
+		return "none"
+	}
+	return fmt.Sprintf("setting(%d)", int(s))
+}
+
+// Options describes one experiment run.
+type Options struct {
+	Workload trace.Workload
+	Design   Design
+	Setting  Setting
+
+	// HugePages selects 2MB OS pages (the paper's evaluations run under
+	// huge pages; Figure 3 compares against 4KB).
+	HugePages bool
+	// CTECacheBytes overrides the 128KB CTE cache (Figure 5 sweep).
+	CTECacheBytes int
+	// Granularity overrides 4KB compression granularity (Figure 6 sweep).
+	Granularity uint64
+	// GroupSize overrides the DRAM page group size (Figure 25 sweep).
+	GroupSize uint64
+	// PerfectCTE models the always-hit upper bound (Figure 18).
+	PerfectCTE bool
+	// EmbedPTB enables TMCC's PTB-embedded CTE forwarding; only effective
+	// under 4KB pages (Section III-A).
+	EmbedPTB bool
+
+	// WarmupAccesses per core before the timed window.
+	WarmupAccesses uint64
+	// Window is the timed simulation length.
+	Window engine.Time
+	// ScaleDivisor shrinks the workload footprint (and DRAM with it) to
+	// bound harness runtime; hardware parameters are untouched. 1 = the
+	// scaled sizes in trace.Workloads (see DESIGN.md §3).
+	ScaleDivisor uint64
+	// FootprintFloor bounds scaling from below (0 = no floor). The
+	// harness uses 192MB so every footprint stays well beyond the CTE
+	// cache's 64MB unified reach.
+	FootprintFloor uint64
+	// Seed perturbs the workload generators.
+	Seed int64
+	// Ranks overrides the DRAM rank count (energy study uses 8 vs 16).
+	Ranks int
+	// Cfg overrides the microarchitecture (zero value = Table 3 defaults).
+	Cfg *Config
+	// DyLeCT overrides the DyLeCT policy configuration (nil = paper
+	// defaults); used by the ablation studies.
+	DyLeCT *core.Config
+}
+
+// Result carries everything the figures need from one run.
+type Result struct {
+	Opts   Options
+	Window engine.Time
+
+	Insts    uint64
+	IPC      float64
+	MemRefs  uint64
+	L3Misses uint64
+
+	TLBMissRate float64
+	Walks       uint64
+	WalkHints   uint64
+	Faults      uint64
+
+	CTEHitRate      float64
+	PreGatheredRate float64 // fraction of requests served by pre-gathered blocks
+	UnifiedRate     float64
+	CTEMisses       uint64
+
+	ML0, ML1, ML2 uint64 // unit counts by level at end of run
+	// DRAM byte occupancy by level plus free bytes (Figure 20).
+	ML0Bytes, ML1Bytes, ML2Bytes, FreeBytes uint64
+
+	ReadLatencyNS float64 // mean MC read latency (Figure 21 input)
+
+	DRAMBytes        uint64
+	TrafficBytes     uint64
+	CTETrafficBytes  uint64
+	MigrationBytes   uint64
+	DemandBytes      uint64
+	BusUtilization   float64
+	EnergyPJ         float64
+	CompressionRatio float64
+
+	Expansions, Compressions, Promotions, Demotions uint64
+}
+
+// TrafficPerInst returns total DRAM bytes per committed instruction
+// (Figure 22's metric).
+func (r *Result) TrafficPerInst() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.TrafficBytes) / float64(r.Insts)
+}
+
+// EnergyPerInst returns DRAM picojoules per instruction (Figure 24).
+func (r *Result) EnergyPerInst() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return r.EnergyPJ / float64(r.Insts)
+}
+
+// dramBytesFor sizes DRAM for the workload and setting, rounding to whole
+// rows per bank.
+func dramBytesFor(w trace.Workload, setting Setting, footprint uint64, ranks int) (uint64, uint64) {
+	var want uint64
+	switch setting {
+	case SettingLow:
+		want = uint64(float64(footprint) * w.LowDRAMFrac)
+	case SettingHigh:
+		want = uint64(float64(footprint) * w.HighDRAMFrac)
+	default:
+		// Fit everything plus page tables and slack.
+		want = footprint + footprint/64 + (32 << 20)
+	}
+	perRow := uint64(ranks) * 16 * (8 << 10) // ranks * banks * rowBytes
+	rows := (want + perRow - 1) / perRow
+	if rows == 0 {
+		rows = 1
+	}
+	return rows * perRow, rows
+}
+
+// Run builds the system and executes warmup + timed window.
+func Run(opts Options) *Result {
+	if opts.ScaleDivisor == 0 {
+		opts.ScaleDivisor = 1
+	}
+	cfg := Default()
+	if opts.Cfg != nil {
+		cfg = *opts.Cfg
+	}
+	cfg.HugePages = opts.HugePages
+	w := opts.Workload
+	w.FootprintBytes /= opts.ScaleDivisor
+	// The paper's dynamics need footprints well beyond the CTE cache's
+	// 64MB unified reach; never scale below that regime (or below the
+	// workload's own size).
+	if floor := min64(opts.Workload.FootprintBytes, opts.FootprintFloor); w.FootprintBytes < floor {
+		w.FootprintBytes = floor
+	}
+	// Keep instanced partitioning and huge pages aligned.
+	w.FootprintBytes &^= (8 << 20) - 1
+	if w.FootprintBytes == 0 {
+		panic("system: footprint scaled away")
+	}
+	ranks := opts.Ranks
+	if ranks == 0 {
+		ranks = 8
+		if opts.Setting == SettingNone {
+			ranks = 16 // the bigger conventional system (Figure 24)
+		}
+	}
+
+	dramBytes, rowsPerBank := dramBytesFor(w, opts.Setting, w.FootprintBytes, ranks)
+	eng := engine.New()
+	d := dram.NewController(eng, dram.DDR4(1, ranks, rowsPerBank))
+
+	pt := tlb.NewPageTable(w.FootprintBytes, cfg.HugePages, 0, w.FootprintBytes)
+
+	// The paper maintains 16MB of free frames; on scaled-down DRAM keep
+	// the same proportion instead of starving the uncompressed levels.
+	freeTarget := uint64(16 << 20)
+	if t := dramBytes / 32; t < freeTarget {
+		freeTarget = t
+	}
+	var tr mc.Translator
+	params := mc.Params{
+		Eng: eng, DRAM: d,
+		OSBytes:         w.FootprintBytes,
+		Granularity:     opts.Granularity,
+		SizeModel:       comp.NewSizeModel(uint64(hash64(w.Name)), w.CompressRatio),
+		CTECacheBytes:   opts.CTECacheBytes,
+		GroupSize:       opts.GroupSize,
+		PerfectCTE:      opts.PerfectCTE,
+		EmbedPTB:        opts.EmbedPTB,
+		FreeTargetBytes: freeTarget,
+	}
+	switch opts.Design {
+	case DesignNoComp:
+		tr = mc.NewNoComp(eng, d, w.FootprintBytes)
+	case DesignTMCC:
+		tr = tmcc.New(params)
+	case DesignDyLeCT:
+		dcfg := core.DefaultConfig()
+		if opts.DyLeCT != nil {
+			dcfg = *opts.DyLeCT
+		}
+		tr = core.New(params, dcfg)
+	case DesignNaive:
+		tr = naive.New(params)
+	}
+
+	gens := make([]trace.Generator, cfg.Cores)
+	for i := range gens {
+		gens[i] = w.NewGenerator(i, opts.Seed+1)
+	}
+	s := New(cfg, eng, d, tr, pt, gens)
+
+	if opts.WarmupAccesses > 0 {
+		s.Warmup(opts.WarmupAccesses)
+	}
+	s.ResetStats()
+	window := opts.Window
+	if window == 0 {
+		window = 300 * engine.Microsecond
+	}
+	s.Run(window)
+
+	return collect(s, opts, window, dramBytes)
+}
+
+func collect(s *System, opts Options, window engine.Time, dramBytes uint64) *Result {
+	ts := s.Trans.Stats()
+	ds := s.DRAM.Stats()
+	r := &Result{
+		Opts:        opts,
+		Window:      window,
+		Insts:       s.Insts(),
+		IPC:         s.IPC(window),
+		MemRefs:     s.MemRefs(),
+		L3Misses:    s.L3Misses(),
+		TLBMissRate: s.TLBMissRate(),
+		Walks:       s.Walks.Value(),
+		WalkHints:   ts.WalkHints.Value(),
+		Faults:      s.Faults.Value(),
+
+		CTEHitRate: ts.HitRate(),
+		CTEMisses:  ts.CTEMisses.Value(),
+
+		ReadLatencyNS: ts.ReadLatency.Mean(),
+
+		DRAMBytes:       dramBytes,
+		TrafficBytes:    ds.TotalBytes(),
+		CTETrafficBytes: ds.ClassBytes(dram.ClassCTE),
+		MigrationBytes:  ds.ClassBytes(dram.ClassMigration),
+		DemandBytes:     ds.ClassBytes(dram.ClassDemand),
+		BusUtilization:  ds.Utilization(window),
+		EnergyPJ:        ds.EnergyPJ(s.DRAM.Config(), window),
+
+		Expansions:   ts.Expansions.Value(),
+		Compressions: ts.Compressions.Value(),
+		Promotions:   ts.Promotions.Value(),
+		Demotions:    ts.Demotions.Value(),
+	}
+	if req := ts.Requests.Value(); req > 0 {
+		r.PreGatheredRate = float64(ts.PreGatheredHits.Value()) / float64(req)
+		r.UnifiedRate = float64(ts.UnifiedHits.Value()) / float64(req)
+	}
+	if b, ok := s.Trans.(interface {
+		LevelCounts() (uint64, uint64, uint64)
+		SpaceUsage() (uint64, uint64, uint64, uint64)
+		CompressionRatio() float64
+	}); ok {
+		r.ML0, r.ML1, r.ML2 = b.LevelCounts()
+		r.ML0Bytes, r.ML1Bytes, r.ML2Bytes, r.FreeBytes = b.SpaceUsage()
+		r.CompressionRatio = b.CompressionRatio()
+	}
+	return r
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func hash64(s string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range s {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

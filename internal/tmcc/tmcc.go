@@ -1,0 +1,109 @@
+// Package tmcc implements the paper's baseline: TMCC (Translation-optimized
+// Memory Compression for Capacity, MICRO 2022) as described in Section II-B,
+// restricted — exactly like the paper's evaluation — to what applies under
+// 2MB huge pages (the PTB-embedding optimization never fires because page
+// walks are rare and 2MB PTBs cannot hold the constituent CTEs).
+//
+// TMCC keeps a two-level exclusive hierarchy: ML1 holds hot pages
+// uncompressed, ML2 holds cold pages compressed at page granularity. A flat
+// unified CTE table (8B per unit) is cached in the MC's CTE cache. Any
+// access to an ML2 unit triggers a page expansion into a Free List frame;
+// demand-adaptive background compression of Recency-List-cold units keeps
+// 16MB of frames free. The Granularity parameter generalizes the unit to
+// 16/64/128KB for the Figure 6 coarse-compression sweep.
+package tmcc
+
+import "dylect/internal/mc"
+
+// Controller is the TMCC memory-controller module.
+type Controller struct {
+	*mc.Base
+}
+
+// New builds a TMCC controller. Params.WithDyLeCTTables is forced off.
+func New(p mc.Params) *Controller {
+	p.WithDyLeCTTables = false
+	return &Controller{Base: mc.NewBase(p)}
+}
+
+// Stats implements mc.Translator.
+func (c *Controller) Stats() *mc.Stats { return &c.S }
+
+// Warm implements mc.Translator: the functional-warmup path.
+func (c *Controller) Warm(addr uint64, write bool) {
+	c.SetFunctional(true)
+	c.Access(addr, write, nil)
+	c.SetFunctional(false)
+}
+
+// Access implements mc.Translator: translate through the CTE cache, expand
+// compressed units on demand, and perform the data access.
+func (c *Controller) Access(addr uint64, write bool, done func()) {
+	c.S.Requests.Inc()
+	u := c.UnitOf(addr)
+	start := c.Eng.Now()
+
+	finish := done
+	if !write && !c.Functional() {
+		finish = func() {
+			c.S.ReadLatency.Observe((c.Eng.Now() - start).Nanoseconds())
+			if done != nil {
+				done()
+			}
+		}
+	}
+
+	proceed := func() {
+		c.TouchRecency(u)
+		if c.Level(u) == mc.ML2 {
+			if write {
+				// Writebacks to compressed units expand them too
+				// (Section II-B) but the write itself is posted.
+				c.ExpandUnit(u, nil)
+				if finish != nil {
+					finish()
+				}
+			} else {
+				c.ExpandUnit(u, finish)
+			}
+		} else {
+			c.DataAccess(addr, write, finish)
+		}
+		c.CheckPressure()
+	}
+
+	blk := c.UnifiedBlockAddr(u)
+	switch {
+	case c.P.PerfectCTE:
+		c.S.CTEHits.Inc()
+		c.After(c.P.CTEHitLatency, proceed)
+	case c.CTE.Access(blk, false):
+		c.S.CTEHits.Inc()
+		c.S.UnifiedHits.Inc()
+		c.After(c.P.CTEHitLatency, proceed)
+	default:
+		c.S.CTEMisses.Inc()
+		// Lookup latency is paid before the miss is known.
+		c.After(c.P.CTEHitLatency, func() {
+			c.FetchCTEBlock(blk, true, proceed)
+		})
+	}
+}
+
+// WalkHint implements the PTB-embedding optimization (Section II-B): the
+// page walk that translated this OS page carried the page's truncated CTE
+// inside the page-table block, so the unified CTE block is installed in the
+// CTE cache without a DRAM access. The system model invokes it on 4KB-page
+// walks only; 2MB PTBs cannot embed their constituent CTEs.
+func (c *Controller) WalkHint(addr uint64) {
+	if !c.P.EmbedPTB {
+		return
+	}
+	blk := c.UnifiedBlockAddr(c.UnitOf(addr))
+	if !c.CTE.Probe(blk) {
+		c.CTE.Fill(blk, false)
+		c.S.WalkHints.Inc()
+	}
+}
+
+var _ mc.Translator = (*Controller)(nil)

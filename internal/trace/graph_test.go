@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGraph() *Graph { return GenerateGraph(1, 10000, 16) }
+
+func TestGenerateGraphShape(t *testing.T) {
+	g := testGraph()
+	if g.NumVertices() != 10000 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 10000*16 {
+		t.Fatalf("E = %d, want %d", g.NumEdges(), 10000*16)
+	}
+	// CSR integrity: offsets monotonically non-decreasing, end at E.
+	for v := uint64(0); v < g.NumVertices(); v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			t.Fatalf("offsets not monotone at %d", v)
+		}
+	}
+	if g.Offsets[g.NumVertices()] != g.NumEdges() {
+		t.Fatal("offsets do not end at E")
+	}
+	// Edge destinations in range.
+	for _, d := range g.Edges[:1000] {
+		if uint64(d) >= g.NumVertices() {
+			t.Fatalf("edge destination %d out of range", d)
+		}
+	}
+}
+
+func TestGraphPowerLaw(t *testing.T) {
+	g := testGraph()
+	var max, sum uint64
+	for v := uint64(0); v < g.NumVertices(); v++ {
+		d := g.Degree(v)
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := sum / g.NumVertices()
+	if max < mean*20 {
+		t.Fatalf("no hubs: max degree %d vs mean %d", max, mean)
+	}
+}
+
+func TestGraphDeterministic(t *testing.T) {
+	a := GenerateGraph(7, 2000, 8)
+	b := GenerateGraph(7, 2000, 8)
+	for v := uint64(0); v < 2000; v++ {
+		if a.Offsets[v] != b.Offsets[v] {
+			t.Fatal("graphs differ across identical seeds")
+		}
+	}
+	c := GenerateGraph(8, 2000, 8)
+	same := true
+	for v := uint64(0); v < 2000 && same; v++ {
+		same = a.Offsets[v] == c.Offsets[v]
+	}
+	if same {
+		t.Fatal("different seeds produced identical degree sequences")
+	}
+}
+
+func TestCSRLayoutNonOverlapping(t *testing.T) {
+	g := testGraph()
+	l := NewCSRLayout(g)
+	v := g.NumVertices()
+	if l.OffsetsBase < v*vertexPropBytes {
+		t.Fatal("offsets overlap props")
+	}
+	if l.EdgesBase < l.OffsetsBase+(v+1)*offsetBytes {
+		t.Fatal("edges overlap offsets")
+	}
+	if l.Footprint < l.EdgesBase+g.NumEdges()*edgeBytes {
+		t.Fatal("footprint too small")
+	}
+	if l.Footprint%4096 != 0 {
+		t.Fatal("footprint not page aligned")
+	}
+}
+
+func TestBFSWalkerVisitsEverything(t *testing.T) {
+	g := GenerateGraph(3, 2000, 8)
+	w := NewBFSWalker(g, 1)
+	var a Access
+	for i := 0; i < 600000 && w.VisitedCount() < g.NumVertices(); i++ {
+		w.Next(&a)
+		if a.VA >= w.Layout().Footprint {
+			t.Fatalf("BFS emitted address %#x beyond footprint %#x", a.VA, w.Layout().Footprint)
+		}
+	}
+	if w.VisitedCount() < g.NumVertices()/2 {
+		t.Fatalf("BFS visited only %d/%d vertices", w.VisitedCount(), g.NumVertices())
+	}
+}
+
+func TestBFSWalkerStreamStructure(t *testing.T) {
+	g := GenerateGraph(5, 2000, 8)
+	w := NewBFSWalker(g, 2)
+	var a Access
+	edgeScans, propAccesses, offsetReads := 0, 0, 0
+	deps := 0
+	for i := 0; i < 50000; i++ {
+		w.Next(&a)
+		switch a.Stream {
+		case 1:
+			offsetReads++
+		case 2:
+			edgeScans++
+		case 3:
+			propAccesses++
+			if a.Dependent {
+				deps++
+			}
+		}
+	}
+	if offsetReads == 0 || edgeScans == 0 || propAccesses == 0 {
+		t.Fatalf("stream structure missing components: %d/%d/%d",
+			offsetReads, edgeScans, propAccesses)
+	}
+	// Every edge scan pairs with a property access (the sample may cut the
+	// final pair in half).
+	if diff := edgeScans - propAccesses; diff < 0 || diff > 1 {
+		t.Fatalf("edge scans %d vs property accesses %d", edgeScans, propAccesses)
+	}
+	if deps != propAccesses {
+		t.Fatal("property gathers must be dependent accesses")
+	}
+}
+
+func TestBFSRunsForever(t *testing.T) {
+	g := GenerateGraph(9, 500, 4)
+	w := NewBFSWalker(g, 3)
+	var a Access
+	// Far more accesses than one traversal: reseeding must keep it alive.
+	for i := 0; i < 200000; i++ {
+		w.Next(&a)
+	}
+}
+
+func TestPageRankWalkerSweeps(t *testing.T) {
+	g := GenerateGraph(11, 1000, 8)
+	w := NewPageRankWalker(g)
+	var a Access
+	writes := 0
+	for i := 0; i < 30000; i++ {
+		w.Next(&a)
+		if a.VA >= w.Layout().Footprint {
+			t.Fatalf("address beyond footprint")
+		}
+		if a.Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("PageRank emits rank stores")
+	}
+}
+
+// Property: any generated graph has exactly V*avgDegree edges and valid CSR.
+func TestPropertyGraphCSRIntegrity(t *testing.T) {
+	f := func(seed int64, vRaw uint16, dRaw uint8) bool {
+		v := uint64(vRaw)%2000 + 10
+		d := int(dRaw)%8 + 1
+		g := GenerateGraph(seed, v, d)
+		if g.NumEdges() != v*uint64(d) {
+			return false
+		}
+		if g.Offsets[v] != g.NumEdges() {
+			return false
+		}
+		for i := uint64(0); i < v; i++ {
+			if g.Offsets[i] > g.Offsets[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBFSWalkerNext(b *testing.B) {
+	g := GenerateGraph(1, 100000, 16)
+	w := NewBFSWalker(g, 1)
+	var a Access
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Next(&a)
+	}
+}

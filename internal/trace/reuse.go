@@ -1,0 +1,120 @@
+package trace
+
+// Reuse-distance analysis of access streams — the standard tool for
+// validating that a synthetic workload has the locality profile its real
+// counterpart is reported to have. Distance is measured in distinct 4KB
+// pages touched between consecutive uses of the same page (page-level LRU
+// stack distance), which is what both the CPU caches and the CTE cache
+// ultimately see.
+
+// ReuseStats summarizes a stream's page-level reuse behaviour.
+type ReuseStats struct {
+	// Accesses analyzed.
+	Accesses uint64
+	// ColdMisses counts first touches (infinite distance).
+	ColdMisses uint64
+	// Buckets[i] counts reuses with stack distance in [2^i, 2^(i+1));
+	// Buckets[0] is distance 0-1.
+	Buckets [24]uint64
+}
+
+// HitRateAt returns the fraction of accesses that would hit an LRU page
+// cache holding `pages` pages (cold misses count as misses).
+func (r *ReuseStats) HitRateAt(pages uint64) float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	var hits uint64
+	for i, c := range r.Buckets {
+		// Bucket i spans distances [2^i, 2^(i+1)); it hits if the cache
+		// holds at least its upper bound.
+		if uint64(1)<<(i+1) <= pages {
+			hits += c
+		}
+	}
+	return float64(hits) / float64(r.Accesses)
+}
+
+// MedianDistance returns the approximate median reuse distance (pages),
+// ignoring cold misses.
+func (r *ReuseStats) MedianDistance() uint64 {
+	var reuses uint64
+	for _, c := range r.Buckets {
+		reuses += c
+	}
+	if reuses == 0 {
+		return 0
+	}
+	target := (reuses + 1) / 2
+	var cum uint64
+	for i, c := range r.Buckets {
+		cum += c
+		if cum >= target {
+			return 1 << i
+		}
+	}
+	return 1 << len(r.Buckets)
+}
+
+// AnalyzeReuse drives n accesses from the generator and computes the
+// page-level reuse profile using the classic Fenwick-tree stack-distance
+// algorithm (Bennett & Kruskal): each page's most recent access time holds
+// a 1 in the tree, so the stack distance of a reuse is the count of ones
+// after the page's previous access. O(n log n) total.
+func AnalyzeReuse(g Generator, n uint64) *ReuseStats {
+	r := &ReuseStats{Accesses: n}
+	bit := newFenwick(int(n) + 1)
+	last := make(map[uint64]int, 1<<16) // page -> time of latest access (1-based)
+	var a Access
+	for t := 1; uint64(t) <= n; t++ {
+		g.Next(&a)
+		page := a.VA / 4096
+		lt, seen := last[page]
+		if seen {
+			// Pages whose latest access lies strictly after lt.
+			d := uint64(bit.sum(t-1) - bit.sum(lt))
+			b := bucketOf(d)
+			if b >= len(r.Buckets) {
+				b = len(r.Buckets) - 1
+			}
+			r.Buckets[b]++
+			bit.add(lt, -1)
+		} else {
+			r.ColdMisses++
+		}
+		bit.add(t, 1)
+		last[page] = t
+	}
+	return r
+}
+
+func bucketOf(d uint64) int {
+	b := 0
+	for d > 1 {
+		d >>= 1
+		b++
+	}
+	return b
+}
+
+// fenwick is a binary indexed tree over 1-based time indices.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, v int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += v
+	}
+}
+
+// sum returns the prefix sum over [1, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sliceGen replays a fixed page sequence as a Generator.
+type sliceGen struct {
+	pages []uint64
+	i     int
+}
+
+func (s *sliceGen) Next(a *Access) {
+	*a = Access{VA: s.pages[s.i%len(s.pages)] * 4096}
+	s.i++
+}
+
+func TestReuseColdMissesOnly(t *testing.T) {
+	g := &sliceGen{pages: []uint64{1, 2, 3, 4, 5}}
+	r := AnalyzeReuse(g, 5)
+	if r.ColdMisses != 5 {
+		t.Fatalf("cold misses = %d, want 5", r.ColdMisses)
+	}
+	if r.MedianDistance() != 0 {
+		t.Fatal("no reuses: median must be 0")
+	}
+}
+
+func TestReuseImmediate(t *testing.T) {
+	g := &sliceGen{pages: []uint64{7, 7, 7, 7}}
+	r := AnalyzeReuse(g, 4)
+	if r.ColdMisses != 1 {
+		t.Fatalf("cold = %d", r.ColdMisses)
+	}
+	if r.Buckets[0] != 3 {
+		t.Fatalf("immediate reuses = %d, want 3", r.Buckets[0])
+	}
+	// A 2-page LRU cache catches distance-0 reuses.
+	if hr := r.HitRateAt(2); hr != 0.75 {
+		t.Fatalf("hit rate at 2 pages = %v, want 0.75", hr)
+	}
+}
+
+func TestReuseKnownDistance(t *testing.T) {
+	// Sequence 1,2,3,1: the reuse of 1 has distance 2 (pages 2 and 3).
+	g := &sliceGen{pages: []uint64{1, 2, 3, 1}}
+	r := AnalyzeReuse(g, 4)
+	if r.ColdMisses != 3 {
+		t.Fatalf("cold = %d", r.ColdMisses)
+	}
+	// Distance 2 lands in bucket 1 ([2,4)).
+	if r.Buckets[1] != 1 {
+		t.Fatalf("buckets = %v", r.Buckets)
+	}
+}
+
+func TestReuseLoopDistanceEqualsWorkingSet(t *testing.T) {
+	// Cyclic sweep over k pages: every reuse has distance k-1.
+	const k = 64
+	pages := make([]uint64, k)
+	for i := range pages {
+		pages[i] = uint64(i)
+	}
+	g := &sliceGen{pages: pages}
+	r := AnalyzeReuse(g, k*10)
+	want := bucketOf(k - 1)
+	for b, c := range r.Buckets {
+		if c > 0 && b != want {
+			t.Fatalf("unexpected bucket %d (count %d), want only %d", b, c, want)
+		}
+	}
+	// An LRU cache of k pages holds the loop entirely; k/2 thrashes.
+	if hr := r.HitRateAt(2 * k); hr < 0.85 {
+		t.Fatalf("full-loop hit rate %v", hr)
+	}
+	if hr := r.HitRateAt(k / 4); hr != 0 {
+		t.Fatalf("quarter-loop hit rate %v, want 0", hr)
+	}
+}
+
+func TestReuseWorkloadsDiffer(t *testing.T) {
+	// canneal (uniform-ish over a large set) must show a much longer
+	// median reuse distance than omnetpp (hot heap).
+	can, _ := ByName("canneal")
+	omn, _ := ByName("omnetpp")
+	rc := AnalyzeReuse(can.NewGenerator(0, 1), 40000)
+	ro := AnalyzeReuse(omn.NewGenerator(0, 1), 40000)
+	if rc.MedianDistance() <= ro.MedianDistance() {
+		t.Fatalf("canneal median %d not above omnetpp %d",
+			rc.MedianDistance(), ro.MedianDistance())
+	}
+}
+
+// Property: buckets + cold misses account for every access, and hit rate is
+// monotone in cache size.
+func TestPropertyReuseAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pages := make([]uint64, 200)
+		for i := range pages {
+			pages[i] = uint64(rng.Intn(50))
+		}
+		g := &sliceGen{pages: pages}
+		const n = 200
+		r := AnalyzeReuse(g, n)
+		var total uint64 = r.ColdMisses
+		for _, c := range r.Buckets {
+			total += c
+		}
+		if total != n {
+			return false
+		}
+		prev := -1.0
+		for _, sz := range []uint64{1, 4, 16, 64, 256} {
+			hr := r.HitRateAt(sz)
+			if hr < prev {
+				return false
+			}
+			prev = hr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
