@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"dylect/internal/analysis"
+)
+
+// selectAnalyzers resolves -enable/-disable lists into the analyzer set to
+// run. An empty enable list means all; disable is applied after.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	chosen := analysis.All()
+	if enable != "" {
+		chosen = chosen[:0]
+		for _, name := range splitList(enable) {
+			a, ok := analysis.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q in -enable", name)
+			}
+			chosen = append(chosen, a)
+		}
+	}
+	if disable != "" {
+		skip := make(map[string]bool)
+		for _, name := range splitList(disable) {
+			if _, ok := analysis.ByName(name); !ok {
+				return nil, fmt.Errorf("unknown analyzer %q in -disable", name)
+			}
+			skip[name] = true
+		}
+		kept := chosen[:0]
+		for _, a := range chosen {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		chosen = kept
+	}
+	if len(chosen) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return chosen, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// writeFindings renders findings as text lines or a JSON array.
+func writeFindings(w io.Writer, findings []analysis.Finding, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		return enc.Encode(findings)
+	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package analysis is a self-contained static-analysis framework for the
+// DyLeCT simulator, in the spirit of go/analysis but built only on the
+// standard library (go/parser, go/ast, go/types). It exists because the
+// repository's numbers are only as trustworthy as its invariants: the event
+// engine runs in integer picoseconds to avoid drift, results must be
+// bit-reproducible run to run, and every stats counter that is incremented
+// must also surface in serialized output. Each Analyzer encodes one such
+// invariant; cmd/dylect-lint drives them over the whole module and CI gates
+// on a clean run.
+//
+// Analyzers are whole-program: Run receives a *Program holding every loaded
+// package (type-checked, in dependency order) so cross-package checks like
+// statcheck (a counter incremented in internal/mc but serialized in
+// internal/system) need no fact plumbing.
+//
+// Diagnostics can be suppressed at the source line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory; a bare ignore is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned by token.Pos inside the Program's
+// FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the stable identifier used in -enable/-disable flags and
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run inspects the whole program and returns findings.
+	Run func(*Program) []Diagnostic
+}
+
+// Finding is a resolved diagnostic ready for output.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+// String renders a finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		TimeUnits(),
+		Schedule(),
+		StatCheck(),
+		Exhaustive(),
+	}
+}
+
+// ByName returns the analyzer with the given name.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil means malformed
+	line      int             // line the directive applies to
+	pos       token.Pos
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// collectIgnores parses every //lint:ignore directive in the program.
+// A directive on its own line suppresses the next line; a trailing directive
+// suppresses its own line. Malformed directives (no analyzer list or no
+// reason) are returned as framework findings.
+func collectIgnores(prog *Program) (map[string]map[int]map[string]bool, []Finding) {
+	ignores := make(map[string]map[int]map[string]bool) // file -> line -> analyzers
+	var malformed []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, strings.TrimSpace(ignorePrefix)) {
+						continue
+					}
+					d := parseIgnore(prog.Fset, c)
+					position := prog.Fset.Position(c.Pos())
+					if d.analyzers == nil {
+						malformed = append(malformed, Finding{
+							Analyzer: "lint",
+							Position: position,
+							Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+						})
+						continue
+					}
+					byLine := ignores[position.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						ignores[position.Filename] = byLine
+					}
+					set := byLine[d.line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[d.line] = set
+					}
+					for a := range d.analyzers {
+						set[a] = true
+					}
+				}
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// parseIgnore parses one directive comment. The directive records its own
+// line; suppression covers that line (trailing placement) and the next
+// (standalone placement) — see suppressed.
+func parseIgnore(fset *token.FileSet, c *ast.Comment) ignoreDirective {
+	position := fset.Position(c.Pos())
+	d := ignoreDirective{pos: c.Pos(), line: position.Line}
+	rest := strings.TrimPrefix(c.Text, strings.TrimSpace(ignorePrefix))
+	rest = strings.TrimSpace(rest)
+	parts := strings.SplitN(rest, " ", 2)
+	if len(parts) < 2 || strings.TrimSpace(parts[1]) == "" {
+		return d // malformed: missing reason
+	}
+	d.analyzers = make(map[string]bool)
+	for _, name := range strings.Split(parts[0], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			d.analyzers[name] = true
+		}
+	}
+	return d
+}
+
+// suppressed reports whether a finding at the given position is covered by
+// an ignore directive (on the same line, or on the line above).
+func suppressed(ignores map[string]map[int]map[string]bool, f Finding) bool {
+	byLine := ignores[f.Position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{f.Position.Line, f.Position.Line - 1} {
+		if set := byLine[line]; set != nil {
+			if set[f.Analyzer] || set["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs the given analyzers over the program, resolves
+// positions, filters suppressed findings, and returns the rest sorted by
+// file, line, column, analyzer.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Finding {
+	ignores, findings := collectIgnores(prog)
+	for _, a := range analyzers {
+		for _, d := range a.Run(prog) {
+			f := Finding{
+				Analyzer: a.Name,
+				Position: prog.Fset.Position(d.Pos),
+				Message:  d.Message,
+			}
+			if suppressed(ignores, f) {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		switch {
+		case a.Position.Filename != b.Position.Filename:
+			return a.Position.Filename < b.Position.Filename
+		case a.Position.Line != b.Position.Line:
+			return a.Position.Line < b.Position.Line
+		case a.Position.Column != b.Position.Column:
+			return a.Position.Column < b.Position.Column
+		default:
+			return a.Analyzer < b.Analyzer
+		}
+	})
+	return findings
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism returns the analyzer that enforces bit-reproducible
+// simulation: no wall-clock reads, no global (unseeded) math/rand, and no
+// map iteration feeding ordered output. It applies to non-test files of
+// packages under internal/ — the simulator proper — leaving cmd/ UIs free
+// to print timestamps.
+//
+// Map iteration order is randomized per run; a range over a map whose body
+// appends to a slice or prints builds order-dependent state from
+// order-undefined input. The canonical safe pattern — collect keys, sort,
+// then use — is recognized: a range whose enclosing function sorts after
+// the loop is not flagged.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock time, global math/rand, and unsorted map iteration feeding ordered output in internal/ packages",
+		Run:  runDeterminism,
+	}
+}
+
+// globalRandAllowed lists math/rand top-level functions that do not touch
+// the global source: constructors for explicitly seeded generators.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		if !inInternal(pkg.Path) {
+			return
+		}
+		if isTestFile(prog.Fset.Position(file.Pos()).Filename) {
+			return
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(pkg.Info, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" {
+					diags = append(diags, Diagnostic{
+						Pos:     call.Pos(),
+						Message: "call to time.Now in simulator code: wall-clock time breaks run-to-run reproducibility; use engine.Engine.Now (simulated time) instead",
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := obj.(*types.Func); isFunc && obj.Parent() == obj.Pkg().Scope() &&
+					!globalRandAllowed[obj.Name()] {
+					diags = append(diags, Diagnostic{
+						Pos:     call.Pos(),
+						Message: fmt.Sprintf("call to global rand.%s: the process-global source is not seeded per run; use a rand.New(rand.NewSource(seed)) owned by the component", obj.Name()),
+					})
+				}
+			}
+			return true
+		})
+		// Map-range checks need the enclosing function to look for a
+		// trailing sort, so walk function by function.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				diags = append(diags, checkMapRanges(pkg, fd.Body)...)
+			}
+		}
+	})
+	return diags
+}
+
+// inInternal reports whether the import path has an internal path element.
+func inInternal(path string) bool {
+	for _, elem := range strings.Split(path, "/") {
+		if elem == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRanges flags map-range loops in body that append or print inside
+// the loop without a subsequent sort in the same function body.
+func checkMapRanges(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	type flagged struct {
+		pos token.Pos
+		end token.Pos
+		why string
+	}
+	var candidates []flagged
+	var sortCalls []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := calleeOf(pkg.Info, n); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sort" {
+				sortCalls = append(sortCalls, n.Pos())
+			}
+		case *ast.RangeStmt:
+			t := pkg.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if why, bad := orderedSideEffect(pkg.Info, n); bad {
+				candidates = append(candidates, flagged{pos: n.Pos(), end: n.End(), why: why})
+			}
+		}
+		return true
+	})
+	var diags []Diagnostic
+	for _, c := range candidates {
+		sorted := false
+		for _, sp := range sortCalls {
+			if sp > c.end {
+				sorted = true
+				break
+			}
+		}
+		if sorted {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     c.pos,
+			Message: fmt.Sprintf("range over map %s: map iteration order is randomized per run; sort the keys first or key the output", c.why),
+		})
+	}
+	return diags
+}
+
+// orderedSideEffect reports whether the loop body builds ordered state from
+// iteration order: appends to a slice declared outside the loop, or emits
+// output via fmt printers. Appending to a loop-local slice is order-safe —
+// each iteration rebuilds it from scratch.
+func orderedSideEffect(info *types.Info, loop *ast.RangeStmt) (string, bool) {
+	var why string
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" &&
+				len(call.Args) > 0 && !declaredWithin(info, call.Args[0], loop) {
+				why = "appends to a slice"
+				return false
+			}
+		}
+		if obj := calleeOf(info, call); obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "fmt" && isPrinter(obj.Name()) {
+			why = fmt.Sprintf("writes output via fmt.%s", obj.Name())
+			return false
+		}
+		return true
+	})
+	return why, why != ""
+}
+
+// declaredWithin reports whether e is an identifier whose object is
+// declared inside the loop (including its Key/Value), making per-iteration
+// state.
+func declaredWithin(info *types.Info, e ast.Expr, loop *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= loop.Pos() && obj.Pos() < loop.End()
+}
+
+// isPrinter reports fmt functions that emit to a stream (Sprint* builds a
+// value and is judged by what the caller does with it, so it is exempt).
+func isPrinter(name string) bool {
+	switch name {
+	case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismTimeNow(t *testing.T) {
+	src := `package sut
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), Determinism()), "time.Now")
+}
+
+func TestDeterminismGlobalRand(t *testing.T) {
+	src := `package sut
+
+import "math/rand"
+
+func roll() int { return rand.Intn(6) }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), Determinism()), "rand.Intn")
+}
+
+func TestDeterminismSeededRandOK(t *testing.T) {
+	src := `package sut
+
+import "math/rand"
+
+func roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Determinism()))
+}
+
+func TestDeterminismMapRangeAppend(t *testing.T) {
+	src := `package sut
+
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), Determinism()), "map iteration order")
+}
+
+func TestDeterminismMapRangePrint(t *testing.T) {
+	src := `package sut
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), Determinism()), "fmt.Println")
+}
+
+func TestDeterminismMapRangeSortedOK(t *testing.T) {
+	src := `package sut
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Determinism()))
+}
+
+func TestDeterminismMapRangeLoopLocalOK(t *testing.T) {
+	// Appending to a slice declared inside the loop is per-iteration state:
+	// iteration order cannot leak into it.
+	src := `package sut
+
+func widths(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Determinism()))
+}
+
+func TestDeterminismCommutativeRangeOK(t *testing.T) {
+	src := `package sut
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Determinism()))
+}
+
+func TestDeterminismSkipsNonInternal(t *testing.T) {
+	// cmd/ packages may read the wall clock (progress reporting).
+	src := `package main
+
+import "time"
+
+func stamp() int64 { return time.Now().Unix() }
+`
+	prog := loadFixture(t, "package sut", map[string]map[string]string{
+		"fix/cmd/tool": {"main.go": src},
+	})
+	wantClean(t, runOn(t, prog, Determinism()))
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive returns the analyzer that enforces full case coverage on
+// switches over the repository's enum types (system.Design, system.Setting,
+// dram.Class, mc.Level, comp.BDIMode, ...). An enum type here is a defined
+// integer type declared in a module package with at least two package-level
+// constants of that exact type.
+//
+// A switch over such a type must either list every declared constant or
+// carry a default clause. Without one, adding an enum member (a new design,
+// a new memory level) silently falls through — in a simulator that means a
+// misaccounted stat or an untranslated address rather than a compile error.
+func Exhaustive() *Analyzer {
+	return &Analyzer{
+		Name: "exhaustive",
+		Doc:  "switches over module enum types must cover every declared constant or have a default",
+		Run:  runExhaustive,
+	}
+}
+
+func runExhaustive(prog *Program) []Diagnostic {
+	// Enum discovery: defined integer types -> their constants, across the
+	// loaded module packages.
+	ours := make(map[*types.Package]bool, len(prog.Pkgs))
+	for _, pkg := range prog.Pkgs {
+		ours[pkg.Types] = true
+	}
+	enums := make(map[*types.TypeName][]*types.Const)
+	for _, pkg := range prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			n := namedType(c.Type())
+			if n == nil {
+				continue
+			}
+			tn := n.Obj()
+			if !ours[tn.Pkg()] {
+				continue
+			}
+			if basic, ok := n.Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+				continue
+			}
+			enums[tn] = append(enums[tn], c)
+		}
+	}
+	for tn, consts := range enums {
+		if len(consts) < 2 {
+			delete(enums, tn) // a lone constant is not an enum
+		}
+	}
+
+	var diags []Diagnostic
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := namedType(pkg.Info.TypeOf(sw.Tag))
+			if tagType == nil {
+				return true
+			}
+			consts, isEnum := enums[tagType.Obj()]
+			if !isEnum {
+				return true
+			}
+			covered := make(map[string]bool) // by exact constant value
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					return true // default clause: always exhaustive
+				}
+				for _, e := range cc.List {
+					if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+						covered[constant.ToInt(tv.Value).ExactString()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[constant.ToInt(c.Val()).ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				diags = append(diags, Diagnostic{
+					Pos: sw.Pos(),
+					Message: fmt.Sprintf("switch over %s.%s is missing cases %s and has no default; cover them or add a default",
+						tagType.Obj().Pkg().Name(), tagType.Obj().Name(), strings.Join(missing, ", ")),
+				})
+			}
+			return true
+		})
+	})
+	return diags
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import "testing"
+
+const enumSrc = `package sut
+
+type Design int
+
+const (
+	NoComp Design = iota
+	TMCC
+	DyLeCT
+	Naive
+)
+`
+
+func TestExhaustiveMissingCase(t *testing.T) {
+	src := enumSrc + `
+func name(d Design) string {
+	switch d {
+	case NoComp:
+		return "nocomp"
+	case TMCC:
+		return "tmcc"
+	}
+	return "?"
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), Exhaustive()), "missing cases DyLeCT, Naive")
+}
+
+func TestExhaustiveFullCoverageOK(t *testing.T) {
+	src := enumSrc + `
+func name(d Design) string {
+	switch d {
+	case NoComp:
+		return "nocomp"
+	case TMCC, DyLeCT, Naive:
+		return "other"
+	}
+	return "?"
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Exhaustive()))
+}
+
+func TestExhaustiveDefaultOK(t *testing.T) {
+	src := enumSrc + `
+func name(d Design) string {
+	switch d {
+	case NoComp:
+		return "nocomp"
+	default:
+		return "other"
+	}
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Exhaustive()))
+}
+
+func TestExhaustiveNonEnumExempt(t *testing.T) {
+	// A named type with a single constant is not an enum; neither is a
+	// plain int switch.
+	src := `package sut
+
+type Mode int
+
+const OnlyMode Mode = 0
+
+func f(m Mode, n int) int {
+	switch m {
+	case OnlyMode:
+		return 1
+	}
+	switch n {
+	case 3:
+		return 3
+	}
+	return 0
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Exhaustive()))
+}
+
+func TestExhaustiveCrossPackageEnum(t *testing.T) {
+	use := `package user
+
+import "fix/internal/sut"
+
+func Name(d sut.Design) string {
+	switch d {
+	case sut.NoComp:
+		return "nocomp"
+	}
+	return "?"
+}
+`
+	prog := loadFixture(t, enumSrc, map[string]map[string]string{
+		"fix/internal/user": {"user.go": use},
+	})
+	wantFinding(t, runOn(t, prog, Exhaustive()), "missing cases DyLeCT, Naive, TMCC")
+}
+
+func TestExhaustiveStdlibTypesExempt(t *testing.T) {
+	// Enum discovery is restricted to module packages: switches over
+	// stdlib named integer types (reflect.Kind etc.) are out of scope.
+	src := `package sut
+
+import "go/token"
+
+func isAdd(t token.Token) bool {
+	switch t {
+	case token.ADD:
+		return true
+	}
+	return false
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Exhaustive()))
+}

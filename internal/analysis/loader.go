@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the whole analyzed module: every package type-checked against
+// one shared FileSet, listed in dependency order (imports before
+// importers).
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// chainImporter resolves module-internal imports from the already-checked
+// set and delegates everything else (the standard library) to the fallback
+// source importer.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList runs `go list -json` in dir over the given patterns.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matched by the patterns (default ./...)
+// rooted at dir. Test files are not loaded: the analyzers enforce
+// production-code invariants, and several (determinism, timeunits)
+// deliberately exempt tests.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	sources := make(map[string][]sourceFile, len(listed))
+	imports := make(map[string][]string, len(listed))
+	for _, lp := range listed {
+		var files []sourceFile
+		for _, name := range lp.GoFiles {
+			files = append(files, sourceFile{name: filepath.Join(lp.Dir, name)})
+		}
+		sources[lp.ImportPath] = files
+		imports[lp.ImportPath] = lp.Imports
+	}
+	return load(fset, sources, imports)
+}
+
+// sourceFile is one file to parse: from disk when src is nil, from memory
+// otherwise.
+type sourceFile struct {
+	name string
+	src  any
+}
+
+// LoadSource type-checks an in-memory program: importPath -> filename ->
+// source text. Used by analyzer unit tests so fixtures need no files on
+// disk and no `go list`. Imports among the given packages resolve locally;
+// anything else falls back to the standard-library source importer.
+func LoadSource(pkgs map[string]map[string]string) (*Program, error) {
+	fset := token.NewFileSet()
+	sources := make(map[string][]sourceFile, len(pkgs))
+	imports := make(map[string][]string, len(pkgs))
+	for path, files := range pkgs {
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var sfs []sourceFile
+		for _, name := range names {
+			sfs = append(sfs, sourceFile{name: name, src: files[name]})
+		}
+		sources[path] = sfs
+		// Imports are discovered from the parsed files below.
+		imports[path] = nil
+	}
+	return load(fset, sources, imports)
+}
+
+// load parses and type-checks every package, processing module-internal
+// imports first so the chain importer can serve them.
+func load(fset *token.FileSet, sources map[string][]sourceFile, imports map[string][]string) (*Program, error) {
+	parsed := make(map[string][]*ast.File, len(sources))
+	paths := make([]string, 0, len(sources))
+	for path, files := range sources {
+		paths = append(paths, path)
+		for _, sf := range files {
+			f, err := parser.ParseFile(fset, sf.name, sf.src, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", sf.name, err)
+			}
+			parsed[path] = append(parsed[path], f)
+		}
+		if imports[path] == nil {
+			for _, f := range parsed[path] {
+				for _, imp := range f.Imports {
+					imports[path] = append(imports[path], importPathOf(imp))
+				}
+			}
+		}
+	}
+	sort.Strings(paths)
+
+	chain := &chainImporter{
+		local:    make(map[string]*types.Package, len(sources)),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	prog := &Program{Fset: fset}
+	checked := make(map[string]bool, len(sources))
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		if checked[path] {
+			return nil
+		}
+		for _, s := range stack {
+			if s == path {
+				return fmt.Errorf("import cycle: %v -> %s", stack, path)
+			}
+		}
+		stack = append(stack, path)
+		for _, dep := range imports[path] {
+			if _, ours := sources[dep]; ours {
+				if err := visit(dep, stack); err != nil {
+					return err
+				}
+			}
+		}
+		checked[path] = true
+		info := newInfo()
+		conf := types.Config{Importer: chain}
+		tpkg, err := conf.Check(path, fset, parsed[path], info)
+		if err != nil {
+			return fmt.Errorf("type-checking %s: %v", path, err)
+		}
+		chain.local[path] = tpkg
+		prog.Pkgs = append(prog.Pkgs, &Package{
+			Path:  path,
+			Files: parsed[path],
+			Types: tpkg,
+			Info:  info,
+		})
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path, nil); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	return s[1 : len(s)-1]
+}

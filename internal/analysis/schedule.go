@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Schedule returns the analyzer guarding the engine's scheduling API.
+// Two hazards:
+//
+//   - an event closure passed to Engine.Schedule/ScheduleAt that captures an
+//     enclosing loop variable. Since Go 1.22 each iteration gets its own
+//     variable, so this no longer aliases — but an event that runs at a
+//     later simulated time holding a binding to loop state is still the
+//     classic deferred-execution trap (and a silent behavior fork against
+//     pre-1.22 toolchains). Copy the value into a plainly-scoped local
+//     (`v := v`) so the event's captured state is explicit.
+//
+//   - ScheduleAt with a timestamp computed by subtraction. engine.Time is a
+//     uint64; `at - x` underflows to a huge future time when x > at, and
+//     even when it does not, a subtracted absolute timestamp can land before
+//     Engine.Now, which panics. Compute deadlines additively from Now, or
+//     clamp explicitly.
+func Schedule() *Analyzer {
+	return &Analyzer{
+		Name: "schedule",
+		Doc:  "forbid loop-variable capture in scheduled event closures and subtraction-derived ScheduleAt timestamps",
+		Run:  runSchedule,
+	}
+}
+
+func runSchedule(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		if isTestFile(prog.Fset.Position(file.Pos()).Filename) {
+			return
+		}
+		v := &scheduleVisitor{pkg: pkg}
+		ast.Walk(v, file)
+		diags = append(diags, v.diags...)
+	})
+	return diags
+}
+
+// scheduleVisitor walks a file tracking which objects are loop variables of
+// loops currently open on the walk stack.
+type scheduleVisitor struct {
+	pkg      *Package
+	loopVars []map[types.Object]bool // one frame per open loop
+	diags    []Diagnostic
+}
+
+func (v *scheduleVisitor) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case nil:
+		return nil
+	case *ast.RangeStmt:
+		frame := make(map[types.Object]bool)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := v.pkg.Info.Defs[id]; obj != nil {
+					frame[obj] = true
+				}
+			}
+		}
+		v.walkLoop(frame, n.Body)
+		return nil
+	case *ast.ForStmt:
+		frame := make(map[types.Object]bool)
+		if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			for _, e := range init.Lhs {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := v.pkg.Info.Defs[id]; obj != nil {
+						frame[obj] = true
+					}
+				}
+			}
+		}
+		if n.Init != nil {
+			ast.Walk(v, n.Init)
+		}
+		if n.Cond != nil {
+			ast.Walk(v, n.Cond)
+		}
+		if n.Post != nil {
+			ast.Walk(v, n.Post)
+		}
+		v.walkLoop(frame, n.Body)
+		return nil
+	case *ast.CallExpr:
+		v.checkCall(n)
+	}
+	return v
+}
+
+// walkLoop walks a loop body with its variables pushed on the stack.
+func (v *scheduleVisitor) walkLoop(frame map[types.Object]bool, body *ast.BlockStmt) {
+	v.loopVars = append(v.loopVars, frame)
+	ast.Walk(v, body)
+	v.loopVars = v.loopVars[:len(v.loopVars)-1]
+}
+
+// isEngineSchedule reports whether the call is Engine.Schedule or
+// Engine.ScheduleAt, returning the method name.
+func (v *scheduleVisitor) isEngineSchedule(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Schedule" && name != "ScheduleAt" {
+		return "", false
+	}
+	obj := v.pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || !fromPkg(fn, "internal/engine") {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if !isNamedFrom(t, "internal/engine", "Engine") {
+		return "", false
+	}
+	return name, true
+}
+
+func (v *scheduleVisitor) checkCall(call *ast.CallExpr) {
+	name, ok := v.isEngineSchedule(call)
+	if !ok || len(call.Args) != 2 {
+		return
+	}
+	// Hazard 1: event closure capturing a loop variable.
+	if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok && len(v.loopVars) > 0 {
+		reported := make(map[types.Object]bool)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := v.pkg.Info.Uses[id]
+			if obj == nil || reported[obj] {
+				return true
+			}
+			for _, frame := range v.loopVars {
+				if frame[obj] {
+					reported[obj] = true
+					v.diags = append(v.diags, Diagnostic{
+						Pos: id.Pos(),
+						Message: fmt.Sprintf("event closure passed to %s captures loop variable %q; copy it to a local (%s := %s) so the event's state is explicit",
+							name, id.Name, id.Name, id.Name),
+					})
+					return true
+				}
+			}
+			return true
+		})
+	}
+	// Hazard 2: ScheduleAt timestamp built by subtraction.
+	if name != "ScheduleAt" {
+		return
+	}
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.SUB {
+			return true
+		}
+		if isEngineTime(v.pkg.Info.TypeOf(be)) {
+			v.diags = append(v.diags, Diagnostic{
+				Pos:     be.Pos(),
+				Message: "ScheduleAt timestamp computed by subtraction: engine.Time is unsigned, so underflow schedules far in the future and a past timestamp panics; compute deadlines additively from Engine.Now",
+			})
+			return false
+		}
+		return true
+	})
+}

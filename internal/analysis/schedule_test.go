@@ -1,0 +1,106 @@
+package analysis
+
+import "testing"
+
+func TestScheduleLoopCapture(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func fanout(e *engine.Engine, banks []int) {
+	for i, b := range banks {
+		e.Schedule(engine.Nanosecond, func() {
+			_ = i + b
+		})
+	}
+}
+`
+	findings := runOn(t, loadFixture(t, src), Schedule())
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings (i and b captured), got %d: %v", len(findings), findings)
+	}
+}
+
+func TestScheduleForLoopCapture(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func fanout(e *engine.Engine, n int) {
+	for i := 0; i < n; i++ {
+		e.ScheduleAt(engine.Nanosecond, func() { _ = i })
+	}
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), Schedule()), "loop variable \"i\"")
+}
+
+func TestScheduleShadowCopyOK(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func fanout(e *engine.Engine, banks []int) {
+	for i, b := range banks {
+		i, b := i, b
+		e.Schedule(engine.Nanosecond, func() {
+			_ = i + b
+		})
+	}
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Schedule()))
+}
+
+func TestScheduleNonLoopClosureOK(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func one(e *engine.Engine, x int) {
+	e.Schedule(engine.Nanosecond, func() { _ = x })
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Schedule()))
+}
+
+func TestScheduleAtSubtraction(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func rewind(e *engine.Engine, at, back engine.Time) {
+	e.ScheduleAt(at-back, func() {})
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), Schedule()), "subtraction")
+}
+
+func TestScheduleAtAdditiveOK(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func later(e *engine.Engine, d engine.Time) {
+	e.ScheduleAt(e.Now()+d, func() {})
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Schedule()))
+}
+
+func TestScheduleOtherMethodsExempt(t *testing.T) {
+	// A Schedule method on a non-engine type is not the engine API.
+	src := `package sut
+
+type queue struct{}
+
+func (q *queue) ScheduleAt(at uint64, fn func()) {}
+
+func f(q *queue, a, b uint64) {
+	for i := 0; i < 3; i++ {
+		q.ScheduleAt(a-b, func() { _ = i })
+	}
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), Schedule()))
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// StatCheck returns the analyzer that enforces stats-counter integrity
+// across the whole program: every struct field of type stats.Counter (or an
+// array of them) declared in a module package must be
+//
+//   - incremented somewhere (an .Inc or .Add call), and
+//   - read somewhere (a .Value call) — the path by which it reaches
+//     serialized results.
+//
+// A counter that is incremented but never read is a write-only stat: it
+// costs work on the hot path and silently vanishes from results.json. A
+// counter that is read but never incremented is an export orphan: it
+// serializes as a plausible-looking zero, which is worse than absent when
+// numbers are compared against the paper. Reset calls count as neither.
+//
+// The check is cross-package by construction — mc.Stats counters are
+// incremented in internal/mc but read in internal/system — which is why the
+// framework hands analyzers the whole Program.
+func StatCheck() *Analyzer {
+	return &Analyzer{
+		Name: "statcheck",
+		Doc:  "every stats.Counter struct field must be both incremented (Inc/Add) and read (Value) somewhere in the program",
+		Run:  runStatCheck,
+	}
+}
+
+// counterField captures one declared counter for reporting.
+type counterField struct {
+	obj    *types.Var
+	incred bool
+	read   bool
+}
+
+func runStatCheck(prog *Program) []Diagnostic {
+	// Pass 1: collect every stats.Counter struct field declared in the
+	// program, keyed by its types.Var identity (shared across packages
+	// because the loader checks everything in one type universe).
+	fields := make(map[*types.Var]*counterField)
+	var order []*types.Var // stable reporting order: declaration order
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					obj, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok || !obj.IsField() {
+						continue
+					}
+					if !counterTyped(obj.Type()) {
+						continue
+					}
+					if _, seen := fields[obj]; !seen {
+						fields[obj] = &counterField{obj: obj}
+						order = append(order, obj)
+					}
+				}
+			}
+			return true
+		})
+	})
+	if len(fields) == 0 {
+		return nil
+	}
+
+	// Pass 2: classify every method call on a counter-typed selection.
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldOfCounterExpr(pkg.Info, sel.X)
+			if f == nil {
+				return true
+			}
+			cf, tracked := fields[f]
+			if !tracked {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Inc", "Add":
+				cf.incred = true
+			case "Value":
+				cf.read = true
+			}
+			return true
+		})
+	})
+
+	var diags []Diagnostic
+	for _, obj := range order {
+		cf := fields[obj]
+		name := qualifiedField(cf.obj)
+		switch {
+		case cf.incred && !cf.read:
+			diags = append(diags, Diagnostic{
+				Pos:     cf.obj.Pos(),
+				Message: fmt.Sprintf("write-only counter %s: incremented but its Value is never read, so it never reaches serialized results; export it or delete it", name),
+			})
+		case cf.read && !cf.incred:
+			diags = append(diags, Diagnostic{
+				Pos:     cf.obj.Pos(),
+				Message: fmt.Sprintf("export-orphaned counter %s: read/serialized but never incremented, so results report a misleading constant zero", name),
+			})
+		case !cf.read && !cf.incred:
+			diags = append(diags, Diagnostic{
+				Pos:     cf.obj.Pos(),
+				Message: fmt.Sprintf("dead counter %s: never incremented and never read", name),
+			})
+		}
+	}
+	return diags
+}
+
+// qualifiedField names a field as pkg.Struct.Field for diagnostics.
+func qualifiedField(v *types.Var) string {
+	name := v.Name()
+	if pkg := v.Pkg(); pkg != nil {
+		name = pkg.Name() + "." + name
+	}
+	return name
+}
+
+// counterTyped reports whether t is stats.Counter or an array of them.
+func counterTyped(t types.Type) bool {
+	if isStatsCounter(t) {
+		return true
+	}
+	if arr, ok := types.Unalias(t).(*types.Array); ok {
+		return isStatsCounter(arr.Elem())
+	}
+	return false
+}
+
+// fieldOfCounterExpr resolves the struct field behind an expression whose
+// method is being called: s.Faults, b.S.CTEHits, stats.ClassBursts[c], and
+// parenthesized forms.
+func fieldOfCounterExpr(info *types.Info, e ast.Expr) *types.Var {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X) // ClassBursts[c].Inc(): the field is the array
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !counterTyped(v.Type()) {
+		return nil
+	}
+	return v
+}

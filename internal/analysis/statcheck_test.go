@@ -1,0 +1,114 @@
+package analysis
+
+import "testing"
+
+func TestStatCheckWriteOnly(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/stats"
+
+type S struct {
+	Hits stats.Counter
+}
+
+func (s *S) touch() { s.Hits.Inc() }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), StatCheck()), "write-only", "Hits")
+}
+
+func TestStatCheckExportOrphan(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/stats"
+
+type S struct {
+	Hits stats.Counter
+}
+
+func (s *S) Rate() uint64 { return s.Hits.Value() }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), StatCheck()), "export-orphaned", "Hits")
+}
+
+func TestStatCheckDead(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/stats"
+
+type S struct {
+	Hits stats.Counter
+}
+
+func (s *S) clear() { s.Hits.Reset() }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), StatCheck()), "dead counter")
+}
+
+func TestStatCheckBalancedOK(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/stats"
+
+type S struct {
+	Hits stats.Counter
+}
+
+func (s *S) touch()       { s.Hits.Inc() }
+func (s *S) Rate() uint64 { return s.Hits.Value() }
+`
+	wantClean(t, runOn(t, loadFixture(t, src), StatCheck()))
+}
+
+func TestStatCheckCrossPackage(t *testing.T) {
+	// The increment and the read live in different packages — the whole
+	// point of a program-wide pass.
+	decl := `package sut
+
+import "fix/internal/stats"
+
+type S struct {
+	Hits stats.Counter
+}
+
+func (s *S) Touch() { s.Hits.Inc() }
+`
+	reader := `package reader
+
+import "fix/internal/sut"
+
+func Rate(s *sut.S) uint64 { return s.Hits.Value() }
+`
+	prog := loadFixture(t, decl, map[string]map[string]string{
+		"fix/internal/reader": {"reader.go": reader},
+	})
+	wantClean(t, runOn(t, prog, StatCheck()))
+}
+
+func TestStatCheckArrayFields(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/stats"
+
+type S struct {
+	PerClass [4]stats.Counter
+}
+
+func (s *S) touch(c int) { s.PerClass[c].Inc() }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), StatCheck()), "write-only", "PerClass")
+}
+
+func TestStatCheckArrayBalancedOK(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/stats"
+
+type S struct {
+	PerClass [4]stats.Counter
+}
+
+func (s *S) touch(c int)        { s.PerClass[c].Inc() }
+func (s *S) Total(c int) uint64 { return s.PerClass[c].Value() }
+`
+	wantClean(t, runOn(t, loadFixture(t, src), StatCheck()))
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// TimeUnits returns the analyzer that enforces unit hygiene on engine.Time
+// arithmetic. The time base is integer picoseconds precisely to avoid
+// drift; two constructions defeat that:
+//
+//   - additive arithmetic (+, -, and their assignment forms, plus ordered
+//     comparisons) between a Time and a bare numeric constant: `t + 100`
+//     does not say 100 of what. The constant must be composed from the
+//     engine's unit constants (`100 * engine.Nanosecond`) or a named
+//     Time-typed constant. Zero is exempt (it is unit-free), as are
+//     multiplicative operators, where a bare constant is a dimensionless
+//     scale factor (`3 * cycle`, `lat / 2`).
+//
+//   - conversions from floating-point values to Time: float math reintroduces
+//     exactly the rounding drift the integer base exists to exclude.
+//     Compose durations in integer arithmetic instead.
+func TimeUnits() *Analyzer {
+	return &Analyzer{
+		Name: "timeunits",
+		Doc:  "forbid raw numeric constants in additive engine.Time arithmetic and float→Time conversions",
+		Run:  runTimeUnits,
+	}
+}
+
+func runTimeUnits(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		if isTestFile(prog.Fset.Position(file.Pos()).Filename) {
+			return
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if d, bad := checkTimeBinary(pkg.Info, n.Op, n.X, n.Y, n.Pos()); bad {
+					diags = append(diags, d)
+				}
+			case *ast.AssignStmt:
+				// t += 100 and t -= 100 are the assignment forms.
+				if (n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN) && len(n.Lhs) == 1 {
+					op := token.ADD
+					if n.Tok == token.SUB_ASSIGN {
+						op = token.SUB
+					}
+					if d, bad := checkTimeBinary(pkg.Info, op, n.Lhs[0], n.Rhs[0], n.Pos()); bad {
+						diags = append(diags, d)
+					}
+				}
+			case *ast.CallExpr:
+				if d, bad := checkFloatConversion(pkg.Info, n); bad {
+					diags = append(diags, d)
+				}
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// additiveOp reports operators where both operands carry units, so a bare
+// constant is a unit bug rather than a scale factor.
+func additiveOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// checkTimeBinary flags op between a Time-typed operand and a bare nonzero
+// constant not composed from unit constants.
+func checkTimeBinary(info *types.Info, op token.Token, x, y ast.Expr, pos token.Pos) (Diagnostic, bool) {
+	if !additiveOp(op) {
+		return Diagnostic{}, false
+	}
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		timeSide, constSide := pair[0], pair[1]
+		if !isEngineTime(info.TypeOf(timeSide)) {
+			continue
+		}
+		tv, ok := info.Types[constSide]
+		if !ok || tv.Value == nil {
+			continue // not a constant expression
+		}
+		if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact && v == 0 {
+			continue // zero is unit-free
+		}
+		if containsTimeConst(info, constSide) {
+			continue // composed from Nanosecond etc. or a named Time constant
+		}
+		return Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("engine.Time %s with bare constant %s: say which unit it is (compose with engine unit constants, e.g. %s*engine.Nanosecond)",
+				op, tv.Value, tv.Value),
+		}, true
+	}
+	return Diagnostic{}, false
+}
+
+// checkFloatConversion flags engine.Time(x) where x is floating-point.
+func checkFloatConversion(info *types.Info, call *ast.CallExpr) (Diagnostic, bool) {
+	if len(call.Args) != 1 {
+		return Diagnostic{}, false
+	}
+	funTV, ok := info.Types[call.Fun]
+	if !ok || !funTV.IsType() || !isEngineTime(funTV.Type) {
+		return Diagnostic{}, false
+	}
+	argType := info.TypeOf(call.Args[0])
+	basic, ok := argType.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Pos:     call.Pos(),
+		Message: "conversion from float to engine.Time: floating-point duration math drifts; compose the duration in integer picoseconds instead",
+	}, true
+}

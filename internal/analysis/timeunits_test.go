@@ -1,0 +1,112 @@
+package analysis
+
+import "testing"
+
+func TestTimeUnitsBareAdd(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func lat(t engine.Time) engine.Time { return t + 100 }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), TimeUnits()), "bare constant 100")
+}
+
+func TestTimeUnitsBareAddAssign(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func bump(t engine.Time) engine.Time {
+	t += 42
+	return t
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), TimeUnits()), "bare constant 42")
+}
+
+func TestTimeUnitsBareCompare(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func slow(t engine.Time) bool { return t > 5000 }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), TimeUnits()), "bare constant 5000")
+}
+
+func TestTimeUnitsComposedOK(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+const walkLat = 3 * engine.Nanosecond
+
+func lat(t engine.Time) engine.Time {
+	t += 100 * engine.Nanosecond
+	t = t + walkLat
+	if t > 2*engine.Microsecond {
+		return t - engine.Nanosecond
+	}
+	return t
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), TimeUnits()))
+}
+
+func TestTimeUnitsZeroAndScalarsOK(t *testing.T) {
+	// Zero is unit-free; multiplicative constants are scale factors.
+	src := `package sut
+
+import "fix/internal/engine"
+
+func f(t engine.Time, n int) engine.Time {
+	if t == 0 {
+		return 3 * t
+	}
+	return t / 4
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), TimeUnits()))
+}
+
+func TestTimeUnitsFloatConversion(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func f(ns float64) engine.Time {
+	return engine.Time(ns * 1000)
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), TimeUnits()), "float")
+}
+
+func TestTimeUnitsIntConversionOK(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func f(n int) engine.Time {
+	return engine.Time(n) * engine.Nanosecond
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), TimeUnits()))
+}
+
+func TestTimeUnitsTestFilesExempt(t *testing.T) {
+	src := `package sut
+
+import "fix/internal/engine"
+
+func helper(t engine.Time) engine.Time { return t + 100 }
+`
+	prog, err := LoadSource(map[string]map[string]string{
+		fixtureEnginePath:  {"engine.go": fixtureEngineSrc},
+		"fix/internal/sut": {"sut_test.go": src},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	wantClean(t, runOn(t, prog, TimeUnits()))
+}

@@ -147,6 +147,7 @@ func FPCCompress(block []byte) ([]byte, error) {
 			out = append(out, byte(w))
 		case fpcSE16, fpcHalfPad, fpcTwoSE8:
 			var hw uint16
+			//lint:ignore exhaustive the enclosing case restricts p to the three halfword patterns
 			switch p {
 			case fpcSE16:
 				hw = uint16(w)
@@ -208,6 +209,7 @@ func FPCDecompress(data []byte, origLen int) ([]byte, error) {
 			}
 			hw := uint16(data[i]) | uint16(data[i+1])<<8
 			i += 2
+			//lint:ignore exhaustive the enclosing case restricts p to the three halfword patterns
 			switch p {
 			case fpcSE16:
 				w = uint32(int32(int16(hw)))

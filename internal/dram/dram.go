@@ -41,8 +41,9 @@ func (c Class) String() string {
 		return "migration"
 	case ClassWalk:
 		return "walk"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
 	}
-	return fmt.Sprintf("class(%d)", int(c))
 }
 
 // Request is one 64-byte DRAM access.
@@ -169,6 +170,13 @@ type Stats struct {
 
 // Bursts returns the total number of data bursts served.
 func (s *Stats) Bursts() uint64 { return s.Reads.Value() + s.Writes.Value() }
+
+// RowHitRate returns the fraction of column accesses that hit an open row
+// (row-buffer locality; closed-row and conflict accesses both miss).
+func (s *Stats) RowHitRate() float64 {
+	return stats.Ratio(s.RowHits.Value(),
+		s.RowHits.Value()+s.RowMisses.Value()+s.RowClosed.Value())
+}
 
 // ClassBytes returns bytes moved for a traffic class.
 func (s *Stats) ClassBytes(c Class) uint64 { return s.ClassBursts[c].Value() * 64 }

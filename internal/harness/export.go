@@ -23,8 +23,13 @@ type RawResult struct {
 	CTEHitRate      float64 `json:"cteHitRate"`
 	PreGatheredRate float64 `json:"preGatheredRate"`
 	UnifiedRate     float64 `json:"unifiedRate"`
+	CTEBlockFetches uint64  `json:"cteBlockFetches"`
 	ReadLatencyNS   float64 `json:"mcReadLatencyNS"`
 	TLBMissRate     float64 `json:"tlbMissRate"`
+
+	WalkDRAMRefs       uint64  `json:"walkDRAMRefs"`
+	WalkerCacheHitRate float64 `json:"walkerCacheHitRate"`
+	WalkRefsPerWalk    float64 `json:"walkRefsPerWalk"`
 
 	ML0 uint64 `json:"ml0Pages"`
 	ML1 uint64 `json:"ml1Pages"`
@@ -35,12 +40,16 @@ type RawResult struct {
 	MigrationBytes   uint64  `json:"migrationBytes"`
 	EnergyPerInstPJ  float64 `json:"energyPerInstPJ"`
 	BusUtilization   float64 `json:"busUtilization"`
+	DRAMRowHitRate   float64 `json:"dramRowHitRate"`
 	CompressionRatio float64 `json:"compressionRatio"`
 
-	Expansions   uint64 `json:"expansions"`
-	Compressions uint64 `json:"compressions"`
-	Promotions   uint64 `json:"promotions"`
-	Demotions    uint64 `json:"demotions"`
+	Expansions      uint64 `json:"expansions"`
+	Compressions    uint64 `json:"compressions"`
+	Promotions      uint64 `json:"promotions"`
+	Demotions       uint64 `json:"demotions"`
+	Displacements   uint64 `json:"displacements"`
+	EmergencyStalls uint64 `json:"emergencyStalls"`
+	PressureStuck   uint64 `json:"pressureStuck"`
 }
 
 // ExportJSON serializes every memoized result, sorted deterministically.
@@ -62,8 +71,13 @@ func (r *Runner) ExportJSON() ([]byte, error) {
 			CTEHitRate:      res.CTEHitRate,
 			PreGatheredRate: res.PreGatheredRate,
 			UnifiedRate:     res.UnifiedRate,
+			CTEBlockFetches: res.CTEBlockFetches,
 			ReadLatencyNS:   res.ReadLatencyNS,
 			TLBMissRate:     res.TLBMissRate,
+
+			WalkDRAMRefs:       res.WalkDRAMRefs,
+			WalkerCacheHitRate: res.WalkerCacheHitRate,
+			WalkRefsPerWalk:    res.WalkRefsPerWalk,
 
 			ML0: res.ML0, ML1: res.ML1, ML2: res.ML2,
 
@@ -72,12 +86,16 @@ func (r *Runner) ExportJSON() ([]byte, error) {
 			MigrationBytes:   res.MigrationBytes,
 			EnergyPerInstPJ:  res.EnergyPerInst(),
 			BusUtilization:   res.BusUtilization,
+			DRAMRowHitRate:   res.DRAMRowHitRate,
 			CompressionRatio: res.CompressionRatio,
 
-			Expansions:   res.Expansions,
-			Compressions: res.Compressions,
-			Promotions:   res.Promotions,
-			Demotions:    res.Demotions,
+			Expansions:      res.Expansions,
+			Compressions:    res.Compressions,
+			Promotions:      res.Promotions,
+			Demotions:       res.Demotions,
+			Displacements:   res.Displacements,
+			EmergencyStalls: res.EmergencyStalls,
+			PressureStuck:   res.PressureStuck,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -10,12 +10,30 @@ import (
 	"dylect/internal/stats"
 )
 
-// Memory levels of the (up to) three-level exclusive hierarchy.
+// Level identifies a unit's memory level in the (up to) three-level
+// exclusive hierarchy.
+type Level uint8
+
+// Memory levels.
 const (
-	ML0 = 0 // uncompressed, short CTE (DyLeCT only)
-	ML1 = 1 // uncompressed, long CTE
-	ML2 = 2 // compressed, long CTE
+	ML0 Level = iota // uncompressed, short CTE (DyLeCT only)
+	ML1              // uncompressed, long CTE
+	ML2              // compressed, long CTE
 )
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case ML0:
+		return "ML0"
+	case ML1:
+		return "ML1"
+	case ML2:
+		return "ML2"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
 
 // Translator is the interface the system's LLC-miss path drives. Access is
 // the timed path (done fires when a read's data is available; writes are
@@ -138,7 +156,7 @@ func (p Params) withDefaults() Params {
 
 // unit is the translation/compression unit's per-unit state.
 type unit struct {
-	level uint8
+	level Level
 	// addr is the machine byte address of the unit's frame (ML0/ML1) or
 	// chunk (ML2).
 	class   uint8 // chunk size class when compressed
@@ -285,7 +303,7 @@ func (b *Base) Functional() bool { return b.functionalMode }
 func (b *Base) UnitOf(addr uint64) uint64 { return addr / b.P.Granularity }
 
 // Level returns the memory level of a unit.
-func (b *Base) Level(u uint64) uint8 { return b.units[u].level }
+func (b *Base) Level(u uint64) Level { return b.units[u].level }
 
 // ShortCTE returns the unit's short CTE (GroupSize == INVALID).
 func (b *Base) ShortCTE(u uint64) uint8 { return b.units[u].short }

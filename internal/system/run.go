@@ -121,11 +121,18 @@ type Result struct {
 	Walks       uint64
 	WalkHints   uint64
 	Faults      uint64
+	// WalkDRAMRefs counts page-walk references that missed the cache
+	// hierarchy and went to DRAM; WalkerCacheHitRate and WalkRefsPerWalk
+	// summarize the per-core walker caches.
+	WalkDRAMRefs       uint64
+	WalkerCacheHitRate float64
+	WalkRefsPerWalk    float64
 
 	CTEHitRate      float64
 	PreGatheredRate float64 // fraction of requests served by pre-gathered blocks
 	UnifiedRate     float64
 	CTEMisses       uint64
+	CTEBlockFetches uint64
 
 	ML0, ML1, ML2 uint64 // unit counts by level at end of run
 	// DRAM byte occupancy by level plus free bytes (Figure 20).
@@ -139,10 +146,18 @@ type Result struct {
 	MigrationBytes   uint64
 	DemandBytes      uint64
 	BusUtilization   float64
+	DRAMRowHitRate   float64
 	EnergyPJ         float64
 	CompressionRatio float64
 
 	Expansions, Compressions, Promotions, Demotions uint64
+	// Displacements counts DRAM-page-group occupants moved aside for ML0
+	// promotions; EmergencyStalls and PressureStuck record Free-List
+	// exhaustion events (synchronous compressions and abandoned victim
+	// scans).
+	Displacements   uint64
+	EmergencyStalls uint64
+	PressureStuck   uint64
 }
 
 // TrafficPerInst returns total DRAM bytes per committed instruction
@@ -287,8 +302,13 @@ func collect(s *System, opts Options, window engine.Time, dramBytes uint64) *Res
 		WalkHints:   ts.WalkHints.Value(),
 		Faults:      s.Faults.Value(),
 
-		CTEHitRate: ts.HitRate(),
-		CTEMisses:  ts.CTEMisses.Value(),
+		WalkDRAMRefs:       s.WalkMem.Value(),
+		WalkerCacheHitRate: s.WalkerCacheHitRate(),
+		WalkRefsPerWalk:    s.WalkRefsPerWalk(),
+
+		CTEHitRate:      ts.HitRate(),
+		CTEMisses:       ts.CTEMisses.Value(),
+		CTEBlockFetches: ts.CTEBlockFetches.Value(),
 
 		ReadLatencyNS: ts.ReadLatency.Mean(),
 
@@ -298,12 +318,16 @@ func collect(s *System, opts Options, window engine.Time, dramBytes uint64) *Res
 		MigrationBytes:  ds.ClassBytes(dram.ClassMigration),
 		DemandBytes:     ds.ClassBytes(dram.ClassDemand),
 		BusUtilization:  ds.Utilization(window),
+		DRAMRowHitRate:  ds.RowHitRate(),
 		EnergyPJ:        ds.EnergyPJ(s.DRAM.Config(), window),
 
-		Expansions:   ts.Expansions.Value(),
-		Compressions: ts.Compressions.Value(),
-		Promotions:   ts.Promotions.Value(),
-		Demotions:    ts.Demotions.Value(),
+		Expansions:      ts.Expansions.Value(),
+		Compressions:    ts.Compressions.Value(),
+		Promotions:      ts.Promotions.Value(),
+		Demotions:       ts.Demotions.Value(),
+		Displacements:   ts.Displacements.Value(),
+		EmergencyStalls: ts.EmergencyStalls.Value(),
+		PressureStuck:   ts.PressureStuck.Value(),
 	}
 	if req := ts.Requests.Value(); req > 0 {
 		r.PreGatheredRate = float64(ts.PreGatheredHits.Value()) / float64(req)

@@ -49,7 +49,7 @@ type Config struct {
 
 // Default returns Table 3's configuration.
 func Default() Config {
-	cycle := engine.Time(357) // 2.8GHz
+	cycle := 357 * engine.Picosecond // 2.8GHz
 	return Config{
 		Cores:            4,
 		CyclePS:          cycle,
@@ -495,6 +495,28 @@ func (s *System) TLBMissRate() float64 {
 		m += c.tlb.Misses.Value()
 	}
 	return stats.Ratio(m, h+m)
+}
+
+// WalkerCacheHitRate returns the aggregate page-walker-cache hit rate
+// across cores (non-leaf PTE references filtered by the walker caches).
+func (s *System) WalkerCacheHitRate() float64 {
+	var hits, refs uint64
+	for _, c := range s.cores {
+		hits += c.walker.CacheHit.Value()
+		refs += c.walker.MemRefs.Value()
+	}
+	return stats.Ratio(hits, hits+refs)
+}
+
+// WalkRefsPerWalk returns the mean memory-hierarchy references per page
+// walk across cores.
+func (s *System) WalkRefsPerWalk() float64 {
+	var walks, refs uint64
+	for _, c := range s.cores {
+		walks += c.walker.Walks.Value()
+		refs += c.walker.MemRefs.Value()
+	}
+	return stats.Ratio(refs, walks)
 }
 
 // L3 exposes the shared cache (tests and harness introspection).

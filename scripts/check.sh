@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# check.sh — the full local gate, identical to CI (.github/workflows/ci.yml).
+#
+#   build    go build ./...
+#   vet      go vet ./...
+#   lint     go run ./cmd/dylect-lint ./...   (the repo's own analyzers)
+#   race     go test -race ./...
+#   fuzz     10s smoke per fuzz target in ./internal/comp
+#
+# Run a subset with e.g. `scripts/check.sh build lint`. No arguments runs
+# everything. FUZZTIME overrides the per-target fuzz budget (default 10s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+steps=("$@")
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race fuzz)
+
+for s in "${steps[@]}"; do
+	case "$s" in
+	build | vet | lint | race | fuzz) ;;
+	*)
+		echo "unknown step '$s' (want: build vet lint race fuzz)" >&2
+		exit 2
+		;;
+	esac
+done
+
+want() {
+	local s
+	for s in "${steps[@]}"; do [ "$s" = "$1" ] && return 0; done
+	return 1
+}
+
+if want build; then
+	echo "== go build ./..."
+	go build ./...
+fi
+
+if want vet; then
+	echo "== go vet ./..."
+	go vet ./...
+fi
+
+if want lint; then
+	echo "== dylect-lint ./..."
+	go run ./cmd/dylect-lint ./...
+fi
+
+if want race; then
+	echo "== go test -race ./..."
+	go test -race ./...
+fi
+
+if want fuzz; then
+	# `go test -fuzz` refuses a pattern matching more than one target, so
+	# enumerate the targets and smoke each one briefly.
+	targets=$(go test -list '^Fuzz' ./internal/comp | grep '^Fuzz' || true)
+	if [ -z "$targets" ]; then
+		echo "no fuzz targets found in ./internal/comp" >&2
+		exit 1
+	fi
+	for t in $targets; do
+		echo "== fuzz $t ($FUZZTIME)"
+		go test -run='^$' -fuzz="^${t}\$" -fuzztime="$FUZZTIME" ./internal/comp
+	done
+fi
+
+echo "all checks passed"
