@@ -13,9 +13,12 @@ import (
 )
 
 // cli parses args and runs the requested experiments, writing human output
-// to out. It returns a process exit code. main stays a thin shell so the
-// whole command is testable.
-func cli(args []string, out io.Writer) int {
+// to out and progress/timing to errOut. Everything on out is deterministic
+// — byte-identical across -jobs values — so stdout can be diffed or golden-
+// tested; wall-clock noise (progress, ETA, elapsed) goes to errOut only.
+// It returns a process exit code. main stays a thin shell so the whole
+// command is testable.
+func cli(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("dylectsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -27,6 +30,7 @@ func cli(args []string, out io.Writer) int {
 		warmup    = fs.Uint64("warmup", 0, "warmup accesses per core override")
 		windowUS  = fs.Uint64("window", 0, "timed window in microseconds override")
 		seed      = fs.Int64("seed", 0, "workload generator seed")
+		jobs      = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		jsonOut   = fs.String("json", "", "also dump raw per-run results as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,27 +77,54 @@ func cli(args []string, out io.Writer) int {
 		}
 	}
 
-	for _, e := range selected {
-		start := time.Now()
-		blocks := e.Run(runner)
-		fmt.Fprintf(out, "== %s (%s, %.1fs, %d cumulative runs)\n\n",
-			e.Title, e.Name, time.Since(start).Seconds(), runner.Runs())
-		for _, b := range blocks {
+	start := time.Now()
+	outs, err := harness.RunExperiments(runner, selected, harness.ExecOptions{
+		Jobs:     *jobs,
+		Progress: progressLine(errOut, start),
+	})
+	fmt.Fprintln(errOut)
+
+	for _, eo := range outs {
+		if eo.Err != nil {
+			fmt.Fprintf(out, "== %s (%s)\n\n!! failed: %v\n\n", eo.Experiment.Title, eo.Experiment.Name, eo.Err)
+			continue
+		}
+		fmt.Fprintf(out, "== %s (%s)\n\n", eo.Experiment.Title, eo.Experiment.Name)
+		for _, b := range eo.Blocks {
 			fmt.Fprintln(out, b)
 		}
 	}
+	fmt.Fprintf(errOut, "%d simulations in %.1fs\n", runner.Runs(), time.Since(start).Seconds())
 
 	if *jsonOut != "" {
-		data, err := runner.ExportJSON()
-		if err != nil {
-			fmt.Fprintf(out, "json export: %v\n", err)
+		data, jerr := runner.ExportJSON()
+		if jerr != nil {
+			fmt.Fprintf(out, "json export: %v\n", jerr)
 			return 1
 		}
-		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			fmt.Fprintf(out, "json export: %v\n", err)
+		if werr := os.WriteFile(*jsonOut, data, 0o644); werr != nil {
+			fmt.Fprintf(out, "json export: %v\n", werr)
 			return 1
 		}
-		fmt.Fprintf(out, "raw results written to %s\n", *jsonOut)
+		fmt.Fprintf(errOut, "raw results written to %s\n", *jsonOut)
+	}
+	if err != nil {
+		return 1
 	}
 	return 0
+}
+
+// progressLine returns a cell-completion callback that redraws one
+// carriage-returned progress/ETA line on w.
+func progressLine(w io.Writer, start time.Time) func(done, total int) {
+	return func(done, total int) {
+		elapsed := time.Since(start)
+		eta := "?"
+		if done > 0 && total >= done {
+			rem := elapsed / time.Duration(done) * time.Duration(total-done)
+			eta = rem.Round(time.Second).String()
+		}
+		fmt.Fprintf(w, "\rcells %d/%d  elapsed %s  eta %s   ",
+			done, total, elapsed.Round(time.Second), eta)
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestCLIList(t *testing.T) {
 	var sb strings.Builder
-	if code := cli([]string{"-list"}, &sb); code != 0 {
+	if code := cli([]string{"-list"}, &sb, io.Discard); code != 0 {
 		t.Fatalf("exit code %d", code)
 	}
 	out := sb.String()
@@ -22,7 +23,7 @@ func TestCLIList(t *testing.T) {
 
 func TestCLIUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if code := cli([]string{"-exp", "fig99"}, &sb); code != 2 {
+	if code := cli([]string{"-exp", "fig99"}, &sb, io.Discard); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 	if !strings.Contains(sb.String(), "unknown experiment") {
@@ -32,7 +33,7 @@ func TestCLIUnknownExperiment(t *testing.T) {
 
 func TestCLIBadFlag(t *testing.T) {
 	var sb strings.Builder
-	if code := cli([]string{"-definitely-not-a-flag"}, &sb); code != 2 {
+	if code := cli([]string{"-definitely-not-a-flag"}, &sb, io.Discard); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 }
@@ -40,12 +41,26 @@ func TestCLIBadFlag(t *testing.T) {
 func TestCLIStaticExperiment(t *testing.T) {
 	// table3 needs no simulation: exercises the full path cheaply.
 	var sb strings.Builder
-	code := cli([]string{"-exp", "table3", "-quick"}, &sb)
+	code := cli([]string{"-exp", "table3", "-quick"}, &sb, io.Discard)
 	if code != 0 {
 		t.Fatalf("exit code %d:\n%s", code, sb.String())
 	}
 	if !strings.Contains(sb.String(), "DDR4-3200") {
 		t.Fatalf("table3 output missing:\n%s", sb.String())
+	}
+}
+
+func TestCLIUnknownWorkloadFailsCleanly(t *testing.T) {
+	// A bad -workloads value must fail the run with the offending cell's
+	// workload in the message, not panic (the pool's error path).
+	var sb strings.Builder
+	code := cli([]string{"-exp", "fig17", "-workloads", "nope", "-scale", "32",
+		"-warmup", "1000", "-window", "5"}, &sb, io.Discard)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), `unknown workload "nope"`) {
+		t.Fatalf("missing cell error:\n%s", sb.String())
 	}
 }
 
@@ -60,7 +75,7 @@ func TestCLISimulatedExperimentWithJSON(t *testing.T) {
 		"-exp", "fig17", "-workloads", "omnetpp",
 		"-scale", "16", "-warmup", "20000", "-window", "10",
 		"-json", jsonPath,
-	}, &sb)
+	}, &sb, io.Discard)
 	if code != 0 {
 		t.Fatalf("exit code %d:\n%s", code, sb.String())
 	}
@@ -73,5 +88,43 @@ func TestCLISimulatedExperimentWithJSON(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "\"workload\": \"omnetpp\"") {
 		t.Fatal("json missing run record")
+	}
+}
+
+// TestCLIJobsEquivalence pins the tentpole invariant at the CLI level:
+// stdout and the -json export are byte-identical between -jobs 1 and
+// -jobs 8. (The full -exp all -quick variant of this check lives in
+// internal/harness's TestJobsEquivalenceAllExperiments, where the runner
+// can use a smaller simulation window.)
+func TestCLIJobsEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	run := func(jobs string) (string, []byte) {
+		t.Helper()
+		dir := t.TempDir()
+		jsonPath := filepath.Join(dir, "out.json")
+		var sb strings.Builder
+		code := cli([]string{
+			"-exp", "fig17,fig19,fig22", "-workloads", "omnetpp,bfs",
+			"-scale", "32", "-warmup", "10000", "-window", "8",
+			"-jobs", jobs, "-json", jsonPath,
+		}, &sb, io.Discard)
+		if code != 0 {
+			t.Fatalf("jobs=%s exit code %d:\n%s", jobs, code, sb.String())
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatalf("jobs=%s json not written: %v", jobs, err)
+		}
+		return sb.String(), data
+	}
+	out1, json1 := run("1")
+	out8, json8 := run("8")
+	if out1 != out8 {
+		t.Errorf("stdout differs between -jobs 1 and -jobs 8\n-- jobs 1:\n%s\n-- jobs 8:\n%s", out1, out8)
+	}
+	if string(json1) != string(json8) {
+		t.Errorf("-json export differs between -jobs 1 and -jobs 8")
 	}
 }

@@ -6,11 +6,12 @@
 //	dylectsim -exp all -quick       # everything, fast config
 //	dylectsim -list                 # list experiments
 //	dylectsim -exp fig18 -workloads bfs,canneal -scale 16
+//	dylectsim -exp all -jobs 8          # 8 concurrent simulations
 //	dylectsim -exp all -json results.json
 package main
 
 import "os"
 
 func main() {
-	os.Exit(cli(os.Args[1:], os.Stdout))
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
 }

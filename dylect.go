@@ -63,6 +63,11 @@ type (
 	Runner = harness.Runner
 	// Experiment names one regenerable table or figure.
 	Experiment = harness.Experiment
+	// ExecOptions configures a parallel experiment run (worker count,
+	// progress callback).
+	ExecOptions = harness.ExecOptions
+	// ExperimentOutput is one experiment's outcome from RunExperiments.
+	ExperimentOutput = harness.ExperimentOutput
 	// Time is simulated time in picoseconds.
 	Time = engine.Time
 )
@@ -119,3 +124,10 @@ func Experiments() []Experiment { return harness.Experiments() }
 
 // ExperimentByName finds one experiment (e.g. "fig18").
 func ExperimentByName(name string) (Experiment, bool) { return harness.ByName(name) }
+
+// RunExperiments executes experiments over a bounded worker pool with
+// single-flight memoization; outputs come back in registration order and
+// are byte-identical regardless of worker count (DESIGN.md §8).
+func RunExperiments(r *Runner, exps []Experiment, opts ExecOptions) ([]ExperimentOutput, error) {
+	return harness.RunExperiments(r, exps, opts)
+}

@@ -3,35 +3,16 @@ package harness
 import (
 	"fmt"
 
-	"dylect/internal/core"
 	"dylect/internal/stats"
 	"dylect/internal/system"
-	"dylect/internal/trace"
 )
 
 // Ablations beyond the paper's figures, exercising the design choices
 // DESIGN.md calls out: the gradual ML2→ML1→ML0 promotion policy versus
 // direct-to-ML0 (the double-movement alternative of Section IV-A1), and the
-// 5% counter sampling rate.
-
-// dylectVariantRun simulates DyLeCT with a policy override (not memoized —
-// ablations run once each).
-func (r *Runner) dylectVariantRun(wl string, s system.Setting, cfg core.Config) *system.Result {
-	w, _ := trace.ByName(wl)
-	return system.Run(system.Options{
-		Workload:       w,
-		Design:         system.DesignDyLeCT,
-		Setting:        s,
-		HugePages:      true,
-		CTECacheBytes:  r.ScaledCTECache(128 << 10),
-		WarmupAccesses: r.Cfg.WarmupAccesses,
-		Window:         r.Cfg.Window,
-		ScaleDivisor:   r.Cfg.ScaleDivisor,
-		FootprintFloor: r.Cfg.FootprintFloor,
-		Seed:           r.Cfg.Seed,
-		DyLeCT:         &cfg,
-	})
-}
+// 5% counter sampling rate. The policy knobs are part of the cell key
+// (variant.directToML0 / variant.samplePeriod), so ablation runs are
+// memoized and scheduled by the worker pool like every other cell.
 
 // AblationGradual compares DyLeCT's gradual promotion against direct
 // ML2→ML0 expansion (double page movement per expansion).
@@ -41,9 +22,9 @@ func AblationGradual(r *Runner) []string {
 	var ratios []float64
 	for _, wl := range r.sweepWorkloads() {
 		grad := r.Design(wl, system.DesignDyLeCT, system.SettingHigh)
-		cfg := core.DefaultConfig()
-		cfg.DirectToML0 = true
-		direct := r.dylectVariantRun(wl, system.SettingHigh, cfg)
+		v := defaultVariant()
+		v.directToML0 = true
+		direct := r.get(wl, system.DesignDyLeCT, system.SettingHigh, v)
 		ratio := 0.0
 		if grad.IPC > 0 {
 			ratio = direct.IPC / grad.IPC
@@ -66,9 +47,9 @@ func AblationSampling(r *Runner) []string {
 	for _, wl := range r.sweepWorkloads() {
 		row := []interface{}{wl}
 		for _, p := range periods {
-			cfg := core.DefaultConfig()
-			cfg.SamplePeriod = p
-			res := r.dylectVariantRun(wl, system.SettingHigh, cfg)
+			v := defaultVariant()
+			v.samplePeriod = p
+			res := r.get(wl, system.DesignDyLeCT, system.SettingHigh, v)
 			row = append(row, fmt.Sprintf("%.1f%%/%.4f", res.CTEHitRate*100, res.IPC))
 		}
 		t.AddRow(row...)

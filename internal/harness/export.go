@@ -17,6 +17,10 @@ type RawResult struct {
 	Granularity   uint64 `json:"granularity"`
 	GroupSize     uint64 `json:"groupSize"`
 	PerfectCTE    bool   `json:"perfectCTE,omitempty"`
+	EmbedPTB      bool   `json:"embedPTB,omitempty"`
+	DirectToML0   bool   `json:"directToML0,omitempty"`
+	SamplePeriod  uint64 `json:"samplePeriod,omitempty"`
+	Ranks         int    `json:"ranks,omitempty"`
 
 	IPC             float64 `json:"ipc"`
 	Insts           uint64  `json:"instructions"`
@@ -52,10 +56,26 @@ type RawResult struct {
 	PressureStuck   uint64 `json:"pressureStuck"`
 }
 
-// ExportJSON serializes every memoized result, sorted deterministically.
+// ExportJSON serializes every completed simulation, sorted deterministically
+// over the full cell key so the bytes are identical regardless of how many
+// jobs produced the cells or in what order they finished.
 func (r *Runner) ExportJSON() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]RawResult, 0, len(r.cache))
-	for k, res := range r.cache {
+	for k, f := range r.cache {
+		if f.done == nil {
+			continue // planning entry, never simulated
+		}
+		select {
+		case <-f.done:
+		default:
+			continue // still running
+		}
+		if f.err != nil || f.res == nil {
+			continue
+		}
+		res := f.res
 		out = append(out, RawResult{
 			Workload:      k.workload,
 			Design:        k.design.String(),
@@ -65,6 +85,10 @@ func (r *Runner) ExportJSON() ([]byte, error) {
 			Granularity:   k.granularity,
 			GroupSize:     k.groupSize,
 			PerfectCTE:    k.perfectCTE,
+			EmbedPTB:      k.embedPTB,
+			DirectToML0:   k.directToML0,
+			SamplePeriod:  k.samplePeriod,
+			Ranks:         k.ranks,
 
 			IPC:             res.IPC,
 			Insts:           res.Insts,
@@ -98,6 +122,9 @@ func (r *Runner) ExportJSON() ([]byte, error) {
 			PressureStuck:   res.PressureStuck,
 		})
 	}
+	// Total order over every key field: two records can only compare equal
+	// if their cells are identical, so the sort (and the bytes) cannot
+	// depend on map iteration or completion order.
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		switch {
@@ -115,8 +142,16 @@ func (r *Runner) ExportJSON() ([]byte, error) {
 			return a.GroupSize < b.GroupSize
 		case a.HugePages != b.HugePages:
 			return !a.HugePages
+		case a.PerfectCTE != b.PerfectCTE:
+			return !a.PerfectCTE
+		case a.EmbedPTB != b.EmbedPTB:
+			return !a.EmbedPTB
+		case a.DirectToML0 != b.DirectToML0:
+			return !a.DirectToML0
+		case a.SamplePeriod != b.SamplePeriod:
+			return a.SamplePeriod < b.SamplePeriod
 		default:
-			return !a.PerfectCTE && b.PerfectCTE
+			return a.Ranks < b.Ranks
 		}
 	})
 	return json.MarshalIndent(out, "", "  ")

@@ -2,12 +2,20 @@
 // evaluation. Each experiment is a function over a Runner, which memoizes
 // full-system simulation results so the many figures that share the same
 // underlying runs (18-23) simulate each configuration once.
+//
+// The Runner is a concurrency-safe single-flight memoizer: any number of
+// goroutines may request cells, duplicates block on the first in-flight
+// simulation, and at most Jobs simulations execute at once. RunExperiments
+// (pool.go) builds on this to fan an experiment list's whole cell set out
+// across a bounded worker pool.
 package harness
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"dylect/internal/core"
 	"dylect/internal/engine"
 	"dylect/internal/system"
 	"dylect/internal/trace"
@@ -63,7 +71,10 @@ func (r *Runner) sweepWorkloads() []string {
 	return []string{"bfs", "sssp", "mcf", "canneal"}
 }
 
-// variant captures the per-run knobs beyond workload/design/setting.
+// variant captures the per-run knobs beyond workload/design/setting. Every
+// field participates in the cache key, the JSON export, and the export sort,
+// so two cells that differ in any knob are distinct and deterministically
+// ordered.
 type variant struct {
 	hugePages     bool
 	cteCacheBytes int
@@ -71,6 +82,12 @@ type variant struct {
 	groupSize     uint64
 	perfectCTE    bool
 	ranks         int
+	// embedPTB enables TMCC's PTB-embedded CTE forwarding (Section III-A).
+	embedPTB bool
+	// directToML0 and samplePeriod override DyLeCT's promotion policy for
+	// the ablation studies; samplePeriod 0 normalizes to the paper default.
+	directToML0  bool
+	samplePeriod uint64
 }
 
 func defaultVariant() variant { return variant{hugePages: true} }
@@ -82,13 +99,60 @@ type runKey struct {
 	variant
 }
 
-// Runner memoizes simulation results.
-type Runner struct {
-	Cfg   Config
-	cache map[runKey]*system.Result
+// String renders a cell key compactly for error messages and progress.
+func (k runKey) String() string {
+	s := fmt.Sprintf("%s/%s/%s", k.workload, k.design, k.setting)
+	if !k.hugePages {
+		s += "/4K"
+	}
+	if k.perfectCTE {
+		s += "/perfectCTE"
+	}
+	if k.embedPTB {
+		s += "/embedPTB"
+	}
+	if k.directToML0 {
+		s += "/directToML0"
+	}
+	return s
 }
 
-// NewRunner builds a Runner over a configuration.
+// flight is one single-flight cache entry: the first requester simulates,
+// every later requester blocks on done. Exactly one of res/err is set once
+// done is closed.
+type flight struct {
+	done chan struct{}
+	res  *system.Result
+	err  error
+}
+
+// Runner memoizes simulation results behind a single-flight cache and a
+// bounded worker pool. The zero value is not usable; construct with
+// NewRunner. All methods are safe for concurrent use.
+type Runner struct {
+	Cfg Config
+
+	mu    sync.Mutex
+	cache map[runKey]*flight
+	// sem bounds the number of simulations executing at once (SetJobs).
+	sem chan struct{}
+	// runs counts completed simulations; done counts settled cells
+	// (including failed ones) for progress reporting.
+	runs    int
+	done    int
+	planned int
+	// onProgress, when set, is called with (settled, planned) after each
+	// cell settles, serialized under mu; it must not call Runner methods.
+	onProgress func(done, total int)
+
+	// planning short-circuits get: record the key, return a zero Result.
+	// Used by planCells to enumerate an experiment list's cell set.
+	planning  bool
+	planOrder []runKey
+}
+
+// NewRunner builds a Runner over a configuration. The worker pool defaults
+// to a single job; RunExperiments (or SetJobs) widens it.
 func NewRunner(cfg Config) *Runner {
 	if len(cfg.Workloads) == 0 {
 		cfg.Workloads = trace.Names()
@@ -102,13 +166,25 @@ func NewRunner(cfg Config) *Runner {
 	if cfg.Window == 0 {
 		cfg.Window = 150 * engine.Microsecond
 	}
-	return &Runner{Cfg: cfg, cache: make(map[runKey]*system.Result)}
+	r := &Runner{Cfg: cfg, cache: make(map[runKey]*flight)}
+	r.SetJobs(1)
+	return r
 }
 
-// get runs (or returns the memoized result of) one configuration. Variant
-// defaults are normalized before the cache key is formed so equivalent
-// configurations share one simulation.
-func (r *Runner) get(wl string, d system.Design, s system.Setting, v variant) *system.Result {
+// SetJobs bounds how many simulations may execute concurrently. Values
+// below 1 are clamped to 1. Resizing does not affect cells already running.
+func (r *Runner) SetJobs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	r.sem = make(chan struct{}, n)
+	r.mu.Unlock()
+}
+
+// normalize fills variant defaults so equivalent configurations share one
+// cache key (and therefore one simulation).
+func (r *Runner) normalize(v variant) variant {
 	if v.cteCacheBytes == 0 {
 		v.cteCacheBytes = r.ScaledCTECache(128 << 10)
 	}
@@ -118,32 +194,127 @@ func (r *Runner) get(wl string, d system.Design, s system.Setting, v variant) *s
 	if v.groupSize == 0 {
 		v.groupSize = 3
 	}
-	key := runKey{workload: wl, design: d, setting: s, variant: v}
-	if res, ok := r.cache[key]; ok {
-		return res
+	if v.samplePeriod == 0 {
+		v.samplePeriod = core.DefaultConfig().SamplePeriod
 	}
-	w, ok := trace.ByName(wl)
+	return v
+}
+
+// cellError wraps a cell failure for transport through experiment code that
+// has no error return; RunExperiments recovers it.
+type cellError struct{ err error }
+
+func (c cellError) Error() string { return c.err.Error() }
+func (c cellError) Unwrap() error { return c.err }
+
+// get runs (or returns the memoized result of) one configuration. On
+// failure — unknown workload or a simulator panic — it panics with a
+// cellError carrying the offending cell's key; RunExperiments converts that
+// into the experiment's error. Use Result for a plain error return.
+func (r *Runner) get(wl string, d system.Design, s system.Setting, v variant) *system.Result {
+	res, err := r.result(runKey{workload: wl, design: d, setting: s, variant: r.normalize(v)})
+	if err != nil {
+		panic(cellError{err})
+	}
+	return res
+}
+
+// Result is the error-returning cell accessor: it runs (or waits for, or
+// returns the memoized result of) one workload × design × setting cell.
+func (r *Runner) Result(wl string, d system.Design, s system.Setting) (*system.Result, error) {
+	return r.result(runKey{workload: wl, design: d, setting: s, variant: r.normalize(defaultVariant())})
+}
+
+// result is the single-flight core: the first requester of a key simulates
+// it (bounded by the jobs semaphore); duplicates block on the in-flight
+// entry. The key must already be normalized.
+func (r *Runner) result(key runKey) (*system.Result, error) {
+	r.mu.Lock()
+	if r.planning {
+		f, ok := r.cache[key]
+		if !ok {
+			f = &flight{res: &system.Result{}}
+			r.cache[key] = f
+			r.planOrder = append(r.planOrder, key)
+		}
+		r.mu.Unlock()
+		return f.res, nil
+	}
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.cache[key] = f
+	r.mu.Unlock()
+	r.runCell(key, f)
+	return f.res, f.err
+}
+
+// runCell executes one cell inside a worker slot, capturing panics so a
+// failing cell reports its key instead of crashing the process.
+func (r *Runner) runCell(key runKey, f *flight) {
+	defer close(f.done)
+	defer func() {
+		if p := recover(); p != nil {
+			f.err = fmt.Errorf("harness: cell %s: panic: %v", key, p)
+		}
+		r.noteSettled()
+	}()
+	r.mu.Lock()
+	sem := r.sem
+	r.mu.Unlock()
+	sem <- struct{}{}
+	defer func() { <-sem }()
+
+	w, ok := trace.ByName(key.workload)
 	if !ok {
-		panic(fmt.Sprintf("harness: unknown workload %q", wl))
+		f.err = fmt.Errorf("harness: cell %s: unknown workload %q", key, key.workload)
+		return
 	}
-	res := system.Run(system.Options{
+	var dcfg *core.Config
+	if key.design == system.DesignDyLeCT {
+		c := core.DefaultConfig()
+		c.SamplePeriod = key.samplePeriod
+		c.DirectToML0 = key.directToML0
+		dcfg = &c
+	}
+	f.res = system.Run(system.Options{
 		Workload:       w,
-		Design:         d,
-		Setting:        s,
-		HugePages:      v.hugePages,
-		CTECacheBytes:  v.cteCacheBytes,
-		Granularity:    v.granularity,
-		GroupSize:      v.groupSize,
-		PerfectCTE:     v.perfectCTE,
-		Ranks:          v.ranks,
+		Design:         key.design,
+		Setting:        key.setting,
+		HugePages:      key.hugePages,
+		CTECacheBytes:  key.cteCacheBytes,
+		Granularity:    key.granularity,
+		GroupSize:      key.groupSize,
+		PerfectCTE:     key.perfectCTE,
+		EmbedPTB:       key.embedPTB,
+		Ranks:          key.ranks,
 		WarmupAccesses: r.Cfg.WarmupAccesses,
 		Window:         r.Cfg.Window,
 		ScaleDivisor:   r.Cfg.ScaleDivisor,
 		FootprintFloor: r.Cfg.FootprintFloor,
 		Seed:           r.Cfg.Seed,
+		DyLeCT:         dcfg,
 	})
-	r.cache[key] = res
-	return res
+	r.mu.Lock()
+	r.runs++
+	r.mu.Unlock()
+}
+
+// noteSettled records one settled cell and fires the progress callback.
+func (r *Runner) noteSettled() {
+	r.mu.Lock()
+	r.done++
+	done, total := r.done, r.planned
+	if done > total {
+		total = done
+	}
+	if cb := r.onProgress; cb != nil {
+		cb(done, total)
+	}
+	r.mu.Unlock()
 }
 
 // ScaledCTECache scales a paper-sized CTE cache with the footprint scale so
@@ -168,8 +339,12 @@ func (r *Runner) Design(wl string, d system.Design, s system.Setting) *system.Re
 	return r.get(wl, d, s, defaultVariant())
 }
 
-// Runs reports how many distinct simulations have been executed.
-func (r *Runner) Runs() int { return len(r.cache) }
+// Runs reports how many distinct simulations have completed.
+func (r *Runner) Runs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs
+}
 
 // Experiment ties a name to its regeneration function.
 type Experiment struct {

@@ -3,7 +3,6 @@ package harness
 import (
 	"dylect/internal/stats"
 	"dylect/internal/system"
-	"dylect/internal/trace"
 )
 
 // Motivation reproduces the argument of Section III-A: TMCC's primary
@@ -11,36 +10,16 @@ import (
 // — only helps when page walks are frequent. Under 4KB pages it recovers a
 // large share of the CTE misses; under 2MB huge pages walks are ~20x rarer
 // and the optimization cannot fire, leaving TMCC exposed to the translation
-// problem DyLeCT solves.
+// problem DyLeCT solves. The embed knob is part of the cell key
+// (variant.embedPTB), so all four cells per workload are memoized.
 func Motivation(r *Runner) []string {
 	t := stats.NewTable("Section III-A: TMCC's PTB embedding helps under 4KB pages, not under 2MB",
 		"Benchmark", "4K hit%", "4K+embed hit%", "embed hints/walk(4K)", "2M hit%", "2M+embed hit%")
 	run := func(wl string, huge, embed bool) *system.Result {
 		v := defaultVariant()
 		v.hugePages = huge
-		key := runKey{workload: wl, design: system.DesignTMCC, setting: system.SettingHigh, variant: v}
-		// The embed variant isn't part of runKey's variant struct; key it
-		// via the perfectCTE-free cache only when embed is off.
-		if !embed {
-			if res, ok := r.cache[key]; ok {
-				return res
-			}
-		}
-		w, _ := trace.ByName(wl)
-		res := system.Run(system.Options{
-			Workload: w, Design: system.DesignTMCC, Setting: system.SettingHigh,
-			HugePages: huge, EmbedPTB: embed,
-			CTECacheBytes:  r.ScaledCTECache(128 << 10),
-			WarmupAccesses: r.Cfg.WarmupAccesses,
-			Window:         r.Cfg.Window,
-			ScaleDivisor:   r.Cfg.ScaleDivisor,
-			FootprintFloor: r.Cfg.FootprintFloor,
-			Seed:           r.Cfg.Seed,
-		})
-		if !embed {
-			r.cache[key] = res
-		}
-		return res
+		v.embedPTB = embed
+		return r.get(wl, system.DesignTMCC, system.SettingHigh, v)
 	}
 	for _, wl := range r.sweepWorkloads() {
 		p4 := run(wl, false, false)

@@ -1,0 +1,56 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// The harness worker pool (internal/harness) runs many Run calls
+// concurrently and relies on Run being hermetic: no shared mutable package
+// state, so a Result is a pure function of Options regardless of what else
+// is simulating at the same time. This test is the audit for that claim
+// with the race detector as witness: N concurrent runs across different
+// designs must each reproduce their own serial result byte for byte.
+// (determinism_test.go pins serial reproducibility; this pins isolation.)
+func TestRunConcurrentMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cells := []Options{
+		determinismOpts(t, DesignDyLeCT, SettingLow, 42),
+		determinismOpts(t, DesignDyLeCT, SettingHigh, 42),
+		determinismOpts(t, DesignTMCC, SettingHigh, 42),
+		determinismOpts(t, DesignNaive, SettingHigh, 42),
+		determinismOpts(t, DesignNoComp, SettingNone, 42),
+		determinismOpts(t, DesignDyLeCT, SettingLow, 7), // same design, other seed
+	}
+	serial := make([][]byte, len(cells))
+	for i, opts := range cells {
+		serial[i] = marshalResult(t, Run(opts))
+	}
+
+	concurrent := make([][]byte, len(cells))
+	marshalErrs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i, opts := range cells {
+		wg.Add(1)
+		go func(i int, opts Options) {
+			defer wg.Done()
+			// t.Fatalf is not legal off the test goroutine; record errors.
+			concurrent[i], marshalErrs[i] = json.Marshal(Run(opts))
+		}(i, opts)
+	}
+	wg.Wait()
+
+	for i := range cells {
+		if marshalErrs[i] != nil {
+			t.Fatalf("cell %d: marshal: %v", i, marshalErrs[i])
+		}
+		if !bytes.Equal(serial[i], concurrent[i]) {
+			t.Errorf("cell %d (%s/%s): concurrent run diverged from serial\nserial:     %s\nconcurrent: %s",
+				i, cells[i].Design, cells[i].Setting, serial[i], concurrent[i])
+		}
+	}
+}

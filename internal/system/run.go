@@ -199,6 +199,12 @@ func dramBytesFor(w trace.Workload, setting Setting, footprint uint64, ranks int
 }
 
 // Run builds the system and executes warmup + timed window.
+//
+// Run must stay hermetic: the harness worker pool executes many Runs
+// concurrently, so everything mutable — engine, DRAM, translator, page
+// table, generators — is constructed here per call, and no package in the
+// simulation graph may hold mutable package-level state. A Result is a pure
+// function of opts. parallel_test.go enforces this under -race.
 func Run(opts Options) *Result {
 	if opts.ScaleDivisor == 0 {
 		opts.ScaleDivisor = 1

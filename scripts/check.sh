@@ -4,7 +4,10 @@
 #   build    go build ./...
 #   vet      go vet ./...
 #   lint     go run ./cmd/dylect-lint ./...   (the repo's own analyzers)
-#   race     go test -race ./...
+#   race     go test -race ./...   (includes the jobs=1 vs jobs=N harness
+#            equivalence and single-flight hammer tests at 4+ jobs)
+#   golden   re-run the golden-run regression corpus and byte-compare
+#            against internal/harness/testdata/golden
 #   fuzz     10s smoke per fuzz target in ./internal/comp
 #
 # Run a subset with e.g. `scripts/check.sh build lint`. No arguments runs
@@ -14,13 +17,13 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race fuzz)
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race golden fuzz)
 
 for s in "${steps[@]}"; do
 	case "$s" in
-	build | vet | lint | race | fuzz) ;;
+	build | vet | lint | race | golden | fuzz) ;;
 	*)
-		echo "unknown step '$s' (want: build vet lint race fuzz)" >&2
+		echo "unknown step '$s' (want: build vet lint race golden fuzz)" >&2
 		exit 2
 		;;
 	esac
@@ -50,6 +53,11 @@ fi
 if want race; then
 	echo "== go test -race ./..."
 	go test -race ./...
+fi
+
+if want golden; then
+	echo "== golden corpus (go test -run TestGoldenCorpus ./internal/harness)"
+	go test -count=1 -run 'TestGoldenCorpus' ./internal/harness
 fi
 
 if want fuzz; then
