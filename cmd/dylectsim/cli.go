@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 	"time"
 
+	"dylect/internal/atomicio"
 	"dylect/internal/engine"
 	"dylect/internal/harness"
 )
@@ -18,20 +19,30 @@ import (
 // tested; wall-clock noise (progress, ETA, elapsed) goes to errOut only.
 // It returns a process exit code. main stays a thin shell so the whole
 // command is testable.
-func cli(args []string, out, errOut io.Writer) int {
+//
+// ctx gates cell starts: when it is canceled (SIGINT/SIGTERM in main), the
+// pool drains gracefully — in-flight simulations finish and checkpoint,
+// queued ones are skipped — partial results are still exported, and the exit
+// code is 130.
+func cli(ctx context.Context, args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("dylectsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		exp       = fs.String("exp", "all", "experiment name (see -list) or 'all'")
-		list      = fs.Bool("list", false, "list experiments and exit")
-		quick     = fs.Bool("quick", false, "fast config: 4 workloads, shorter windows")
-		workloads = fs.String("workloads", "", "comma-separated workload subset")
-		scale     = fs.Uint64("scale", 0, "footprint scale divisor override")
-		warmup    = fs.Uint64("warmup", 0, "warmup accesses per core override")
-		windowUS  = fs.Uint64("window", 0, "timed window in microseconds override")
-		seed      = fs.Int64("seed", 0, "workload generator seed")
-		jobs      = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		jsonOut   = fs.String("json", "", "also dump raw per-run results as JSON to this file")
+		exp        = fs.String("exp", "all", "experiment name (see -list) or 'all'")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		quick      = fs.Bool("quick", false, "fast config: 4 workloads, shorter windows")
+		workloads  = fs.String("workloads", "", "comma-separated workload subset")
+		scale      = fs.Uint64("scale", 0, "footprint scale divisor override")
+		warmup     = fs.Uint64("warmup", 0, "warmup accesses per core override")
+		windowUS   = fs.Uint64("window", 0, "timed window in microseconds override")
+		seed       = fs.Int64("seed", 0, "workload generator seed")
+		jobs       = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut    = fs.String("json", "", "also dump raw per-run results as JSON to this file (written atomically)")
+		audit      = fs.Bool("audit", false, "walk translator-state invariants during every run; violations fail the cell")
+		checkpoint = fs.String("checkpoint", "", "persist completed cells to this directory and resume from it")
+		cellTO     = fs.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
+		retries    = fs.Int("retries", 0, "retry a cell's transient failures up to this many times")
+		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between retries (scaled by attempt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,8 +72,17 @@ func cli(args []string, out, errOut io.Writer) int {
 		cfg.Window = engine.Time(*windowUS) * engine.Microsecond
 	}
 	cfg.Seed = *seed
+	cfg.Audit = *audit
 
 	runner := harness.NewRunner(cfg)
+	if *checkpoint != "" {
+		cp, err := harness.OpenCheckpoint(*checkpoint, cfg)
+		if err != nil {
+			fmt.Fprintf(out, "%v\n", err)
+			return 2
+		}
+		runner.AttachCheckpoint(cp)
+	}
 	var selected []harness.Experiment
 	if *exp == "all" {
 		selected = harness.Experiments()
@@ -79,10 +99,19 @@ func cli(args []string, out, errOut io.Writer) int {
 
 	start := time.Now()
 	outs, err := harness.RunExperiments(runner, selected, harness.ExecOptions{
-		Jobs:     *jobs,
-		Progress: progressLine(errOut, start),
+		Jobs:        *jobs,
+		Progress:    progressLine(errOut, start),
+		Context:     ctx,
+		CellTimeout: *cellTO,
+		Retries:     *retries,
+		RetryBackoff: *backoff,
 	})
 	fmt.Fprintln(errOut)
+
+	interrupted := ctx != nil && ctx.Err() != nil
+	if interrupted {
+		fmt.Fprintf(errOut, "interrupted: drained in-flight cells; exporting partial results\n")
+	}
 
 	for _, eo := range outs {
 		if eo.Err != nil {
@@ -102,11 +131,14 @@ func cli(args []string, out, errOut io.Writer) int {
 			fmt.Fprintf(out, "json export: %v\n", jerr)
 			return 1
 		}
-		if werr := os.WriteFile(*jsonOut, data, 0o644); werr != nil {
+		if werr := atomicio.WriteFile(*jsonOut, data, 0o644); werr != nil {
 			fmt.Fprintf(out, "json export: %v\n", werr)
 			return 1
 		}
 		fmt.Fprintf(errOut, "raw results written to %s\n", *jsonOut)
+	}
+	if interrupted {
+		return 130
 	}
 	if err != nil {
 		return 1

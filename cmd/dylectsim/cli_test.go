@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -10,7 +11,7 @@ import (
 
 func TestCLIList(t *testing.T) {
 	var sb strings.Builder
-	if code := cli([]string{"-list"}, &sb, io.Discard); code != 0 {
+	if code := cli(context.Background(), []string{"-list"}, &sb, io.Discard); code != 0 {
 		t.Fatalf("exit code %d", code)
 	}
 	out := sb.String()
@@ -23,7 +24,7 @@ func TestCLIList(t *testing.T) {
 
 func TestCLIUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if code := cli([]string{"-exp", "fig99"}, &sb, io.Discard); code != 2 {
+	if code := cli(context.Background(), []string{"-exp", "fig99"}, &sb, io.Discard); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 	if !strings.Contains(sb.String(), "unknown experiment") {
@@ -33,7 +34,7 @@ func TestCLIUnknownExperiment(t *testing.T) {
 
 func TestCLIBadFlag(t *testing.T) {
 	var sb strings.Builder
-	if code := cli([]string{"-definitely-not-a-flag"}, &sb, io.Discard); code != 2 {
+	if code := cli(context.Background(), []string{"-definitely-not-a-flag"}, &sb, io.Discard); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 }
@@ -41,7 +42,7 @@ func TestCLIBadFlag(t *testing.T) {
 func TestCLIStaticExperiment(t *testing.T) {
 	// table3 needs no simulation: exercises the full path cheaply.
 	var sb strings.Builder
-	code := cli([]string{"-exp", "table3", "-quick"}, &sb, io.Discard)
+	code := cli(context.Background(), []string{"-exp", "table3", "-quick"}, &sb, io.Discard)
 	if code != 0 {
 		t.Fatalf("exit code %d:\n%s", code, sb.String())
 	}
@@ -54,7 +55,7 @@ func TestCLIUnknownWorkloadFailsCleanly(t *testing.T) {
 	// A bad -workloads value must fail the run with the offending cell's
 	// workload in the message, not panic (the pool's error path).
 	var sb strings.Builder
-	code := cli([]string{"-exp", "fig17", "-workloads", "nope", "-scale", "32",
+	code := cli(context.Background(), []string{"-exp", "fig17", "-workloads", "nope", "-scale", "32",
 		"-warmup", "1000", "-window", "5"}, &sb, io.Discard)
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1:\n%s", code, sb.String())
@@ -71,7 +72,7 @@ func TestCLISimulatedExperimentWithJSON(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "out.json")
 	var sb strings.Builder
-	code := cli([]string{
+	code := cli(context.Background(), []string{
 		"-exp", "fig17", "-workloads", "omnetpp",
 		"-scale", "16", "-warmup", "20000", "-window", "10",
 		"-json", jsonPath,
@@ -91,6 +92,67 @@ func TestCLISimulatedExperimentWithJSON(t *testing.T) {
 	}
 }
 
+// TestCLIInterruptPartialExport models SIGINT delivery: with the signal
+// context already canceled, the run drains (no cell starts), the -json
+// export is still written atomically (here: an empty result set), and the
+// exit code is the conventional 130.
+func TestCLIInterruptPartialExport(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "partial.json")
+	var sb strings.Builder
+	code := cli(ctx, []string{
+		"-exp", "fig17", "-workloads", "omnetpp",
+		"-scale", "32", "-warmup", "1000", "-window", "5",
+		"-json", jsonPath,
+	}, &sb, io.Discard)
+	if code != 130 {
+		t.Fatalf("exit code %d, want 130:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "not started") {
+		t.Fatalf("drained cells not reported:\n%s", sb.String())
+	}
+	if _, err := os.ReadFile(jsonPath); err != nil {
+		t.Fatalf("partial export not written: %v", err)
+	}
+}
+
+// TestCLICheckpointFlag drives the -checkpoint path end to end: a run
+// persists its cells, and a re-run against the same directory resumes
+// without re-simulating (reported as 0 simulations).
+func TestCLICheckpointFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	args := []string{
+		"-exp", "fig17", "-workloads", "omnetpp",
+		"-scale", "32", "-warmup", "5000", "-window", "5",
+		"-audit", "-checkpoint", ckpt,
+	}
+	var out1 strings.Builder
+	if code := cli(context.Background(), args, &out1, io.Discard); code != 0 {
+		t.Fatalf("first run exit %d:\n%s", code, out1.String())
+	}
+	ents, err := os.ReadDir(ckpt)
+	if err != nil || len(ents) < 2 { // manifest + at least one cell
+		t.Fatalf("checkpoint dir not populated: %v (%d entries)", err, len(ents))
+	}
+	var errOut2 strings.Builder
+	var out2 strings.Builder
+	if code := cli(context.Background(), args, &out2, &errOut2); code != 0 {
+		t.Fatalf("resume exit %d:\n%s", code, out2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatal("resumed stdout differs from original run")
+	}
+	if !strings.Contains(errOut2.String(), "0 simulations") {
+		t.Fatalf("resume re-simulated cells:\n%s", errOut2.String())
+	}
+}
+
 // TestCLIJobsEquivalence pins the tentpole invariant at the CLI level:
 // stdout and the -json export are byte-identical between -jobs 1 and
 // -jobs 8. (The full -exp all -quick variant of this check lives in
@@ -105,7 +167,7 @@ func TestCLIJobsEquivalence(t *testing.T) {
 		dir := t.TempDir()
 		jsonPath := filepath.Join(dir, "out.json")
 		var sb strings.Builder
-		code := cli([]string{
+		code := cli(context.Background(), []string{
 			"-exp", "fig17,fig19,fig22", "-workloads", "omnetpp,bfs",
 			"-scale", "32", "-warmup", "10000", "-window", "8",
 			"-jobs", jobs, "-json", jsonPath,

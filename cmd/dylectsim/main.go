@@ -8,10 +8,24 @@
 //	dylectsim -exp fig18 -workloads bfs,canneal -scale 16
 //	dylectsim -exp all -jobs 8          # 8 concurrent simulations
 //	dylectsim -exp all -json results.json
+//	dylectsim -exp all -audit           # invariant-audited runs
+//	dylectsim -exp all -checkpoint ckpt # resumable sweep
+//
+// SIGINT/SIGTERM drains gracefully: in-flight simulations finish (and
+// checkpoint), partial results are exported, and the process exits 130. A
+// second signal kills immediately.
 package main
 
-import "os"
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
 
 func main() {
-	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code := cli(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	os.Exit(code)
 }

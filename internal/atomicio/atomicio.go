@@ -1,0 +1,50 @@
+// Package atomicio provides crash-safe file writes: data lands under a
+// temporary name in the destination directory, is fsynced, and is renamed
+// into place. A reader (or a resumed harness run) therefore sees either the
+// complete previous file or the complete new one — never a torn write. Every
+// artifact the harness persists (JSON exports, golden files, checkpoint
+// cells) goes through this path.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in path's directory so the final rename never crosses a
+// filesystem boundary (cross-device renames are copies, not atomic).
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file; the destination is
+	// untouched until the rename.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	return nil
+}

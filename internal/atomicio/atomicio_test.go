@@ -1,0 +1,50 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "two" {
+		t.Fatalf("content = %q", data)
+	}
+	// No temp litter: the directory holds exactly the destination file.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d entries in dir, want 1", len(ents))
+	}
+}
+
+func TestWriteFileFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-subdir", "out.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination unexpectedly exists: %v", err)
+	}
+}

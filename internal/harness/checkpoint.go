@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"dylect/internal/atomicio"
+	"dylect/internal/system"
+)
+
+// Checkpointing makes sweeps resumable: every completed cell is persisted as
+// one JSON file (written crash-safely via temp+rename), keyed by the cell's
+// full normalized runKey, next to a manifest pinning the harness Config that
+// produced it. A killed sweep restarted with the same checkpoint directory
+// loads completed cells instead of re-simulating them; because each cell's
+// Result is a pure function of its key plus the Config (see pool.go) and
+// Go's JSON encoding round-trips every Result field exactly, the resumed
+// export is byte-identical to an uninterrupted run's.
+
+const manifestName = "manifest.json"
+
+// Checkpoint is a directory of persisted cell results plus its manifest.
+// Safe for concurrent use by pool workers.
+type Checkpoint struct {
+	dir string
+
+	mu     sync.Mutex
+	loaded int
+	stored int
+}
+
+// OpenCheckpoint opens (or initializes) a checkpoint directory for cfg. A
+// directory created under a different Config is rejected: resuming it would
+// silently mix results from incompatible sweeps.
+func OpenCheckpoint(dir string, cfg Config) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	want, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	path := filepath.Join(dir, manifestName)
+	if have, err := os.ReadFile(path); err == nil {
+		if string(have) != string(want) {
+			return nil, fmt.Errorf("checkpoint: %s was created for a different config; refusing to resume (delete the directory or match the original flags)", dir)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	} else if err := atomicio.WriteFile(path, want, 0o644); err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	return &Checkpoint{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *Checkpoint) Dir() string { return c.dir }
+
+// Loaded and Stored report how many cells were restored from, and persisted
+// to, the checkpoint during this process.
+func (c *Checkpoint) Loaded() int { c.mu.Lock(); defer c.mu.Unlock(); return c.loaded }
+
+// Stored reports how many cells this process persisted.
+func (c *Checkpoint) Stored() int { c.mu.Lock(); defer c.mu.Unlock(); return c.stored }
+
+// fileKey flattens the full normalized cell key into a filename. Every key
+// field participates (unlike runKey.String, which elides defaults), so two
+// distinct cells can never share a checkpoint file.
+func (k runKey) fileKey() string {
+	name := fmt.Sprintf("%s_%s_%s_hp%t_cte%d_gran%d_grp%d_pcte%t_ptb%t_dml0%t_sp%d_r%d",
+		k.workload, k.design, k.setting, k.hugePages, k.cteCacheBytes,
+		k.granularity, k.groupSize, k.perfectCTE, k.embedPTB,
+		k.directToML0, k.samplePeriod, k.ranks)
+	return strings.ReplaceAll(name, string(os.PathSeparator), "-") + ".json"
+}
+
+// Load restores a cell's persisted Result, reporting whether one exists. A
+// torn or unreadable file (impossible under the atomic writer, but cheap to
+// tolerate) is treated as absent so the cell is simply re-simulated.
+func (c *Checkpoint) Load(key runKey) (*system.Result, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, key.fileKey()))
+	if err != nil {
+		return nil, false
+	}
+	var res system.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.loaded++
+	c.mu.Unlock()
+	return &res, true
+}
+
+// Store persists a completed cell crash-safely. The stored record carries
+// only measurement fields: Opts is zeroed because it embeds workload
+// generator internals that do not round-trip (and nothing downstream of the
+// runner reads it).
+func (c *Checkpoint) Store(key runKey, res *system.Result) error {
+	rec := *res
+	rec.Opts = system.Options{}
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: cell %s: %w", key, err)
+	}
+	if err := atomicio.WriteFile(filepath.Join(c.dir, key.fileKey()), data, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: cell %s: %w", key, err)
+	}
+	c.mu.Lock()
+	c.stored++
+	c.mu.Unlock()
+	return nil
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"dylect/internal/atomicio"
 )
 
 var updateGolden = flag.Bool("update", false, "regenerate testdata/golden fixtures")
@@ -48,7 +50,9 @@ func TestGoldenCorpus(t *testing.T) {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
 				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
+				// Atomic replace: an interrupted -update cannot leave a
+				// torn fixture behind.
+				if err := atomicio.WriteFile(path, got, 0o644); err != nil {
 					t.Fatal(err)
 				}
 				return

@@ -11,9 +11,13 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"dylect/internal/core"
 	"dylect/internal/engine"
@@ -35,6 +39,12 @@ type Config struct {
 	Window engine.Time
 	// Seed perturbs workload generators.
 	Seed int64
+	// Audit enables the runtime invariant auditor inside every simulation
+	// (system.Options.Audit): translator state is walked at the warmup
+	// boundary, the window quarter points, and end of run, and any
+	// violation fails the cell with a structured error. Audits are
+	// read-only, so reported numbers are unchanged.
+	Audit bool
 }
 
 // Full returns the configuration used for EXPERIMENTS.md: all workloads at
@@ -149,6 +159,22 @@ type Runner struct {
 	// Used by planCells to enumerate an experiment list's cell set.
 	planning  bool
 	planOrder []runKey
+
+	// Resilience knobs (SetContext, SetCellTimeout, SetRetries,
+	// SetCellHook, AttachCheckpoint). ctx gates *starting* cells — a
+	// canceled context drains the pool gracefully: in-flight cells finish
+	// (and checkpoint), queued ones fail fast with ctx's error.
+	ctx          context.Context
+	cellTimeout  time.Duration
+	retries      int
+	retryBackoff time.Duration
+	// cellHook, when set, runs at the top of every cell attempt (inside
+	// the watchdogged goroutine); a non-nil error fails the attempt. It
+	// exists for fault injection (internal/faults.CellInjector).
+	cellHook func(cellKey string) error
+	// checkpoint, when attached, is consulted before simulating a cell and
+	// updated after each success.
+	checkpoint *Checkpoint
 }
 
 // NewRunner builds a Runner over a configuration. The worker pool defaults
@@ -179,6 +205,52 @@ func (r *Runner) SetJobs(n int) {
 	}
 	r.mu.Lock()
 	r.sem = make(chan struct{}, n)
+	r.mu.Unlock()
+}
+
+// SetContext installs the context that gates cell starts. Canceling it
+// drains the pool gracefully: running cells complete (and checkpoint), cells
+// not yet started fail fast carrying ctx's error, and partial results remain
+// exportable.
+func (r *Runner) SetContext(ctx context.Context) {
+	r.mu.Lock()
+	r.ctx = ctx
+	r.mu.Unlock()
+}
+
+// SetCellTimeout arms the per-cell watchdog: an attempt that produces no
+// result within d is abandoned (its worker slot is released and the cell
+// fails with a timeout error). Zero disables the watchdog.
+func (r *Runner) SetCellTimeout(d time.Duration) {
+	r.mu.Lock()
+	r.cellTimeout = d
+	r.mu.Unlock()
+}
+
+// SetRetries allows up to n retries of a cell whose failure is transient
+// (an error exposing `Transient() bool`), with linear backoff (attempt *
+// backoff) between attempts. Deterministic failures are never retried.
+func (r *Runner) SetRetries(n int, backoff time.Duration) {
+	r.mu.Lock()
+	r.retries = n
+	r.retryBackoff = backoff
+	r.mu.Unlock()
+}
+
+// SetCellHook installs a hook run at the top of every cell attempt; a
+// non-nil error (or a panic) fails the attempt. Fault-injection tests use it
+// to script panics, hangs, and transient errors into the pool.
+func (r *Runner) SetCellHook(h func(cellKey string) error) {
+	r.mu.Lock()
+	r.cellHook = h
+	r.mu.Unlock()
+}
+
+// AttachCheckpoint makes the runner consult cp before simulating any cell
+// and persist every completed cell into it.
+func (r *Runner) AttachCheckpoint(cp *Checkpoint) {
+	r.mu.Lock()
+	r.checkpoint = cp
 	r.mu.Unlock()
 }
 
@@ -252,26 +324,142 @@ func (r *Runner) result(key runKey) (*system.Result, error) {
 	return f.res, f.err
 }
 
-// runCell executes one cell inside a worker slot, capturing panics so a
-// failing cell reports its key instead of crashing the process.
+// runCell executes one cell: checkpoint restore, graceful-drain gate, worker
+// slot, then watchdogged attempts with transient-failure retry. Panics are
+// captured (with stack) so a failing cell reports its key instead of
+// crashing the process.
 func (r *Runner) runCell(key runKey, f *flight) {
 	defer close(f.done)
+	defer r.noteSettled()
 	defer func() {
 		if p := recover(); p != nil {
-			f.err = fmt.Errorf("harness: cell %s: panic: %v", key, p)
+			f.err = fmt.Errorf("harness: cell %s: panic: %v\n%s", key, p, debug.Stack())
+			f.res = nil
 		}
-		r.noteSettled()
 	}()
+
 	r.mu.Lock()
 	sem := r.sem
+	ctx := r.ctx
+	timeout := r.cellTimeout
+	retries, backoff := r.retries, r.retryBackoff
+	cp := r.checkpoint
 	r.mu.Unlock()
-	sem <- struct{}{}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	if cp != nil {
+		if res, ok := cp.Load(key); ok {
+			f.res = res
+			return
+		}
+	}
+
+	// Graceful drain: once the context is canceled no new cell starts —
+	// not even one already queued on the semaphore — but cells that made it
+	// into a worker slot run to completion and checkpoint.
+	select {
+	case <-ctx.Done():
+		f.err = fmt.Errorf("harness: cell %s: not started: %w", key, ctx.Err())
+		return
+	default:
+	}
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		f.err = fmt.Errorf("harness: cell %s: not started: %w", key, ctx.Err())
+		return
+	}
+	// Released when runCell returns — including when the watchdog abandons
+	// a hung attempt, so one stuck cell cannot shrink the pool.
 	defer func() { <-sem }()
 
+	var res *system.Result
+	for attempt := 1; ; attempt++ {
+		var err error
+		res, err = r.attemptCell(key, timeout)
+		if err == nil {
+			break
+		}
+		if isTransient(err) && attempt <= retries && ctx.Err() == nil {
+			if backoff > 0 {
+				select {
+				case <-time.After(time.Duration(attempt) * backoff):
+				case <-ctx.Done():
+				}
+			}
+			continue
+		}
+		f.err = err
+		return
+	}
+
+	if cp != nil {
+		if err := cp.Store(key, res); err != nil {
+			f.err = err
+			return
+		}
+	}
+	f.res = res
+	r.mu.Lock()
+	r.runs++
+	r.mu.Unlock()
+}
+
+// attemptCell runs one simulation attempt in a child goroutine so the
+// watchdog can abandon it: a hung simulator (or injected hang) cannot block
+// the sweep. The abandoned goroutine's eventual result, if any, lands in a
+// buffered channel and is discarded.
+func (r *Runner) attemptCell(key runKey, timeout time.Duration) (*system.Result, error) {
+	r.mu.Lock()
+	hook := r.cellHook
+	r.mu.Unlock()
+
+	type outcome struct {
+		res *system.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("harness: cell %s: panic: %v\n%s", key, p, debug.Stack())}
+			}
+		}()
+		if hook != nil {
+			if err := hook(key.String()); err != nil {
+				ch <- outcome{err: fmt.Errorf("harness: cell %s: %w", key, err)}
+				return
+			}
+		}
+		res, err := r.simulate(key)
+		if err != nil {
+			ch <- outcome{err: fmt.Errorf("harness: cell %s: %w", key, err)}
+			return
+		}
+		ch <- outcome{res: res}
+	}()
+
+	var watchdog <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		watchdog = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-watchdog:
+		return nil, fmt.Errorf("harness: cell %s: no result after %v; watchdog abandoned the worker", key, timeout)
+	}
+}
+
+// simulate performs the actual system run for a cell.
+func (r *Runner) simulate(key runKey) (*system.Result, error) {
 	w, ok := trace.ByName(key.workload)
 	if !ok {
-		f.err = fmt.Errorf("harness: cell %s: unknown workload %q", key, key.workload)
-		return
+		return nil, fmt.Errorf("unknown workload %q", key.workload)
 	}
 	var dcfg *core.Config
 	if key.design == system.DesignDyLeCT {
@@ -280,7 +468,7 @@ func (r *Runner) runCell(key runKey, f *flight) {
 		c.DirectToML0 = key.directToML0
 		dcfg = &c
 	}
-	f.res = system.Run(system.Options{
+	return system.RunE(system.Options{
 		Workload:       w,
 		Design:         key.design,
 		Setting:        key.setting,
@@ -297,10 +485,21 @@ func (r *Runner) runCell(key runKey, f *flight) {
 		FootprintFloor: r.Cfg.FootprintFloor,
 		Seed:           r.Cfg.Seed,
 		DyLeCT:         dcfg,
+		Audit:          r.Cfg.Audit,
 	})
-	r.mu.Lock()
-	r.runs++
-	r.mu.Unlock()
+}
+
+// isTransient reports whether err (or anything it wraps) marks itself
+// retryable via a `Transient() bool` method. Simulator faults and audit
+// violations are deterministic and never match.
+func isTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
 }
 
 // noteSettled records one settled cell and fires the progress callback.

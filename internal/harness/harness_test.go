@@ -16,6 +16,10 @@ func microConfig() Config {
 		FootprintFloor: 64 << 20,
 		WarmupAccesses: 30_000,
 		Window:         15 * engine.Microsecond,
+		// Audited by default: every test simulation double-checks the
+		// translator's structural invariants (read-only, so no reported
+		// number can change).
+		Audit: true,
 	}
 }
 

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // This file is the parallel experiment executor. The flow is:
@@ -35,6 +37,16 @@ type ExecOptions struct {
 	// number of settled cells and the planned total. Calls are serialized;
 	// the callback must not call back into the Runner.
 	Progress func(done, total int)
+	// Context, when set, gates cell starts: canceling it drains the pool
+	// gracefully (running cells finish and checkpoint, queued cells fail
+	// fast) so partial results stay exportable.
+	Context context.Context
+	// CellTimeout arms the per-cell watchdog (0 = no watchdog).
+	CellTimeout time.Duration
+	// Retries bounds per-cell retries of transient failures, spaced by
+	// attempt*RetryBackoff.
+	Retries      int
+	RetryBackoff time.Duration
 }
 
 // ExperimentOutput is one experiment's outcome from RunExperiments.
@@ -59,6 +71,15 @@ func RunExperiments(r *Runner, exps []Experiment, opts ExecOptions) ([]Experimen
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	r.SetJobs(jobs)
+	if opts.Context != nil {
+		r.SetContext(opts.Context)
+	}
+	if opts.CellTimeout > 0 {
+		r.SetCellTimeout(opts.CellTimeout)
+	}
+	if opts.Retries > 0 {
+		r.SetRetries(opts.Retries, opts.RetryBackoff)
+	}
 
 	plan := planCells(r.Cfg, exps)
 	r.mu.Lock()

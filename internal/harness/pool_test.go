@@ -20,6 +20,9 @@ func smallConfig() Config {
 		WarmupAccesses: 10_000,
 		Window:         8 * engine.Microsecond,
 		Seed:           1,
+		// Audited by default (read-only): the golden corpus therefore
+		// also proves clean runs pass the invariant auditor.
+		Audit: true,
 	}
 }
 
@@ -189,10 +192,11 @@ func TestUnknownWorkloadError(t *testing.T) {
 	}
 }
 
-// TestCellPanicCapture forces a simulator panic (footprint scaled to zero)
-// and checks it fails the run with the offending cell's key instead of
-// crashing the process.
-func TestCellPanicCapture(t *testing.T) {
+// TestScaledAwayFootprintError forces the footprint-scaled-away
+// misconfiguration and checks it comes back through the pool's cell-error
+// path — an error naming the offending cell — rather than the panic it used
+// to be.
+func TestScaledAwayFootprintError(t *testing.T) {
 	cfg := Config{
 		Workloads:      []string{"omnetpp"},
 		ScaleDivisor:   1 << 40, // scales every footprint to zero
@@ -203,11 +207,14 @@ func TestCellPanicCapture(t *testing.T) {
 	e, _ := ByName("fig17")
 	outs, err := RunExperiments(r, []Experiment{e}, ExecOptions{Jobs: 2})
 	if err == nil {
-		t.Fatal("RunExperiments succeeded despite simulator panic")
+		t.Fatal("RunExperiments succeeded despite a zero footprint")
 	}
-	if !strings.Contains(err.Error(), "panic") ||
+	if !strings.Contains(err.Error(), "footprint scaled away") ||
 		!strings.Contains(err.Error(), "omnetpp/nocomp/none") {
-		t.Fatalf("panic error missing cell key: %v", err)
+		t.Fatalf("error missing cause or cell key: %v", err)
+	}
+	if strings.Contains(err.Error(), "panic") {
+		t.Fatalf("misconfiguration surfaced as a panic: %v", err)
 	}
 	if outs[0].Err == nil {
 		t.Fatal("failed experiment has nil Err")

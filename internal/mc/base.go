@@ -204,6 +204,11 @@ type Base struct {
 	expandWait map[uint64][]func()
 	// in-flight CTE block fetch waiters per block address
 	fetchWait map[uint64][]func()
+	// reservedFrames tracks frames claimed by in-flight expansions whose
+	// ownership is not yet recorded (ExpandUnit reserves the frame, then
+	// finishes after the decompression latency). The invariant auditor
+	// skips them: mid-flight they are legitimately allocated-but-unowned.
+	reservedFrames map[uint64]struct{}
 }
 
 // NewBase lays out DRAM (data frames + reserved tables) and initializes all
@@ -212,12 +217,13 @@ type Base struct {
 func NewBase(p Params) *Base {
 	p = p.withDefaults()
 	b := &Base{
-		P:          p,
-		Eng:        p.Eng,
-		DRAM:       p.DRAM,
-		expandWait: make(map[uint64][]func()),
-		fetchWait:  make(map[uint64][]func()),
-		residents:  make(map[uint64][]uint64),
+		P:              p,
+		Eng:            p.Eng,
+		DRAM:           p.DRAM,
+		expandWait:     make(map[uint64][]func()),
+		fetchWait:      make(map[uint64][]func()),
+		residents:      make(map[uint64][]uint64),
+		reservedFrames: make(map[uint64]struct{}),
 	}
 	b.nUnits = p.OSBytes / p.Granularity
 	if b.nUnits == 0 {
@@ -544,10 +550,12 @@ func (b *Base) ExpandUnit(u uint64, done func()) {
 		return
 	}
 	b.expandWait[u] = nil // mark in flight; frame is reserved
+	b.reservedFrames[frame] = struct{}{}
 	oldChunk, oldClass := st.addr, int(st.class)
 	fa := b.Space.FrameAddr(frame)
 
 	finish := func() {
+		delete(b.reservedFrames, frame)
 		b.ownerUnit[frame] = int64(u)
 		st.level = ML1
 		st.addr = fa

@@ -234,6 +234,15 @@ func (b *Base) DisplaceChunkFrame(frame uint64) bool {
 	if b.ownerUnit[frame] != ownerChunks {
 		return false
 	}
+	// A resident mid-expansion has an ExpandUnit finish callback in flight
+	// that will free its chunk at the captured address; relocating the chunk
+	// under it would make that callback free space now owned by someone else
+	// and orphan the relocated copy. Leave the frame alone this round.
+	for _, q := range b.residents[frame] {
+		if _, busy := b.expandWait[q]; busy {
+			return false
+		}
+	}
 	// Reclaim the frame's free chunks first so relocation cannot allocate
 	// back into the frame being vacated.
 	b.Space.EvictFrameChunks(frame)

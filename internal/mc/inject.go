@@ -1,0 +1,85 @@
+package mc
+
+import "fmt"
+
+// Fault-injection primitives. Each method deterministically corrupts one
+// piece of controller state *without* the usual bookkeeping, emulating the
+// silent state-machine bugs the invariant auditor exists to catch (a level
+// flip with no migration, a stale short CTE, a leaked Free List frame, a
+// desynced ownership table). They are driven by internal/faults' seeded
+// injector in tests and CI smoke runs; nothing in the simulation path calls
+// them. Every method returns a description of the corruption it performed so
+// tests can assert the auditor names the same unit/frame.
+
+// InjectLevelCorruption flips unit u's recorded memory level without moving
+// any data or updating ownership: ML2 units are marked ML1; uncompressed
+// units are marked ML2. The auditor reports it as owner/resident desync.
+func (b *Base) InjectLevelCorruption(u uint64) string {
+	u %= b.nUnits
+	st := &b.units[u]
+	from := st.level
+	if st.level == ML2 {
+		st.level = ML1
+	} else {
+		st.level = ML2
+	}
+	return fmt.Sprintf("unit %d level %s->%s without migration", u, from, st.level)
+}
+
+// InjectShortCTECorruption corrupts unit u's short CTE: an ML0 unit's entry
+// is rotated to name the wrong group slot; an ML1/ML2 unit's INVALID marker
+// is overwritten with a plausible live value.
+func (b *Base) InjectShortCTECorruption(u uint64) string {
+	u %= b.nUnits
+	st := &b.units[u]
+	old := st.short
+	if st.level == ML0 && b.P.GroupSize > 1 {
+		st.short = uint8((uint64(st.short) + 1) % b.P.GroupSize)
+	} else {
+		st.short = 0
+	}
+	return fmt.Sprintf("unit %d short CTE %d->%d (level %s)", u, old, st.short, st.level)
+}
+
+// InjectFreeFrameLeak makes one free frame unreachable: it stays marked
+// free (so accounting still counts it) but every Free List stack entry for
+// it is dropped, so AllocFrame can never return it again. Returns ok=false
+// when no frame is currently free.
+func (b *Base) InjectFreeFrameLeak() (string, bool) {
+	s := b.Space
+	var victim uint64
+	found := false
+	for _, f := range s.freeFrames {
+		if s.frameFree[f] {
+			victim, found = f, true
+			break
+		}
+	}
+	if !found {
+		return "no free frame to leak", false
+	}
+	kept := s.freeFrames[:0]
+	for _, f := range s.freeFrames {
+		if f != victim {
+			kept = append(kept, f)
+		}
+	}
+	s.freeFrames = kept
+	return fmt.Sprintf("frame %d dropped from the Free List stack while marked free", victim), true
+}
+
+// InjectTableDesync corrupts the ownership metadata for unit u's current
+// location: an uncompressed unit's frame is marked unowned; a compressed
+// unit is dropped from its frame's residents list — the pre-gathered /
+// unified table desync class.
+func (b *Base) InjectTableDesync(u uint64) string {
+	u %= b.nUnits
+	st := &b.units[u]
+	frame := b.Space.FrameOf(st.addr)
+	if st.level == ML2 {
+		b.removeResident(frame, u)
+		return fmt.Sprintf("unit %d dropped from frame %d residents list", u, frame)
+	}
+	b.ownerUnit[frame] = ownerFree
+	return fmt.Sprintf("frame %d owner cleared under %s unit %d", frame, st.level, u)
+}

@@ -1,0 +1,119 @@
+package system
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dylect/internal/engine"
+	"dylect/internal/faults"
+	"dylect/internal/invariant"
+)
+
+// faultOpts is a cheaper smokeOpts for the injection matrix.
+func faultOpts(design Design, setting Setting) Options {
+	o := smokeOpts(design, setting)
+	o.WarmupAccesses = 15000
+	o.Window = 20 * engine.Microsecond
+	o.Audit = true
+	return o
+}
+
+// TestAuditCleanRuns pins the acceptance baseline: audited but unfaulted
+// runs of every design succeed, and (audits being read-only) produce the
+// same numbers as unaudited runs.
+func TestAuditCleanRuns(t *testing.T) {
+	for _, tc := range []struct {
+		d Design
+		s Setting
+	}{
+		{DesignNoComp, SettingNone},
+		{DesignTMCC, SettingHigh},
+		{DesignDyLeCT, SettingHigh},
+		{DesignNaive, SettingHigh},
+	} {
+		audited, err := RunE(faultOpts(tc.d, tc.s))
+		if err != nil {
+			t.Fatalf("%v audited run failed: %v", tc.d, err)
+		}
+		plain := faultOpts(tc.d, tc.s)
+		plain.Audit = false
+		bare, err := RunE(plain)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.d, err)
+		}
+		if audited.IPC != bare.IPC || audited.TrafficBytes != bare.TrafficBytes ||
+			audited.Expansions != bare.Expansions {
+			t.Fatalf("%v: audit perturbed results: IPC %v vs %v, traffic %d vs %d",
+				tc.d, audited.IPC, bare.IPC, audited.TrafficBytes, bare.TrafficBytes)
+		}
+	}
+}
+
+// TestAuditorCatchesEverySeededFaultClass is the acceptance matrix: for each
+// compressed design and each corruption class, a seeded mid-window injection
+// must fail the run with a structured invariant error naming a unit or frame.
+func TestAuditorCatchesEverySeededFaultClass(t *testing.T) {
+	for _, d := range []Design{DesignTMCC, DesignDyLeCT, DesignNaive} {
+		for _, class := range faults.Classes() {
+			d, class := d, class
+			t.Run(d.String()+"/"+class.String(), func(t *testing.T) {
+				t.Parallel()
+				opts := faultOpts(d, SettingHigh)
+				opts.Faults = faults.NewPlan(11, class)
+				_, err := RunE(opts)
+				if err == nil {
+					t.Fatalf("%s injection of %s went undetected (injected: %v)",
+						class, d, opts.Faults.Applied())
+				}
+				var ie *invariant.Error
+				if !errors.As(err, &ie) {
+					t.Fatalf("failure is not a structured invariant error: %v", err)
+				}
+				if len(ie.Violations) == 0 {
+					t.Fatal("invariant error carries no violations")
+				}
+				if len(opts.Faults.Applied()) == 0 {
+					t.Fatal("plan recorded no injection, yet the audit failed")
+				}
+				// Structured violations must name the offending unit or
+				// frame so the report is actionable.
+				v := ie.Violations[0]
+				if v.Unit == invariant.None && v.Frame == invariant.None {
+					t.Fatalf("violation names neither unit nor frame: %+v", v)
+				}
+				if !strings.Contains(ie.Phase, "window") && ie.Phase != "end-of-run" {
+					t.Fatalf("violation reported outside the timed window: phase %q", ie.Phase)
+				}
+			})
+		}
+	}
+}
+
+// TestEventCountTrigger covers the alternative fault trigger: injection once
+// the engine has executed a fixed number of events.
+func TestEventCountTrigger(t *testing.T) {
+	opts := faultOpts(DesignTMCC, SettingHigh)
+	opts.Faults = &faults.Plan{Ops: []faults.Op{{Class: faults.TableDesync, Unit: 3, Events: 500}}}
+	_, err := RunE(opts)
+	var ie *invariant.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("event-count injection undetected: %v", err)
+	}
+	if got := opts.Faults.Applied(); len(got) != 1 {
+		t.Fatalf("applied = %v", got)
+	}
+}
+
+// TestFaultsIgnoredWithoutMCState: the no-compression baseline has no
+// translator state to corrupt; a plan against it must be a clean no-op.
+func TestFaultsIgnoredWithoutMCState(t *testing.T) {
+	opts := faultOpts(DesignNoComp, SettingNone)
+	opts.Faults = faults.NewPlan(11)
+	if _, err := RunE(opts); err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	if got := opts.Faults.Applied(); len(got) != 0 {
+		t.Fatalf("injected into a stateless design: %v", got)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"dylect/internal/core"
 	"dylect/internal/dram"
 	"dylect/internal/engine"
+	"dylect/internal/faults"
+	"dylect/internal/invariant"
 	"dylect/internal/mc"
 	"dylect/internal/naive"
 	"dylect/internal/tlb"
@@ -105,6 +107,16 @@ type Options struct {
 	// DyLeCT overrides the DyLeCT policy configuration (nil = paper
 	// defaults); used by the ablation studies.
 	DyLeCT *core.Config
+
+	// Audit enables the runtime invariant auditor: the translator's full
+	// state is walked after warmup, at the window's quarter points, and at
+	// end of run. Any violation fails the run with an *invariant.Error
+	// naming the offending unit/frame. Audits are strictly read-only, so
+	// enabling them cannot change any reported number.
+	Audit bool
+	// Faults, when non-nil, schedules the plan's deterministic MC-state
+	// corruptions inside the timed window (tests and CI smoke only).
+	Faults *faults.Plan
 }
 
 // Result carries everything the figures need from one run.
@@ -198,14 +210,29 @@ func dramBytesFor(w trace.Workload, setting Setting, footprint uint64, ranks int
 	return rows * perRow, rows
 }
 
-// Run builds the system and executes warmup + timed window.
+// Run builds the system and executes warmup + timed window, panicking on
+// failure. It survives as a convenience wrapper for the public dylect API;
+// new code (and the harness) should call RunE, which reports misconfigured
+// runs and invariant violations as errors instead of crashing.
+func Run(opts Options) *Result {
+	r, err := RunE(opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RunE builds the system and executes warmup + timed window.
 //
-// Run must stay hermetic: the harness worker pool executes many Runs
+// RunE must stay hermetic: the harness worker pool executes many runs
 // concurrently, so everything mutable — engine, DRAM, translator, page
 // table, generators — is constructed here per call, and no package in the
 // simulation graph may hold mutable package-level state. A Result is a pure
 // function of opts. parallel_test.go enforces this under -race.
-func Run(opts Options) *Result {
+//
+// Errors are either configuration faults (the footprint scaled away) or, with
+// opts.Audit set, an *invariant.Error describing translator-state corruption.
+func RunE(opts Options) (*Result, error) {
 	if opts.ScaleDivisor == 0 {
 		opts.ScaleDivisor = 1
 	}
@@ -225,7 +252,8 @@ func Run(opts Options) *Result {
 	// Keep instanced partitioning and huge pages aligned.
 	w.FootprintBytes &^= (8 << 20) - 1
 	if w.FootprintBytes == 0 {
-		panic("system: footprint scaled away")
+		return nil, fmt.Errorf("system: workload %q footprint scaled away (divisor %d, floor %d)",
+			w.Name, opts.ScaleDivisor, opts.FootprintFloor)
 	}
 	ranks := opts.Ranks
 	if ranks == 0 {
@@ -288,9 +316,90 @@ func Run(opts Options) *Result {
 	if window == 0 {
 		window = 300 * engine.Microsecond
 	}
-	s.Run(window)
 
-	return collect(s, opts, window, dramBytes)
+	// The auditor records only the first failing walk: later audits of an
+	// already-corrupt controller would bury the root cause under cascading
+	// violations. Audit closures are read-only and schedule nothing, so the
+	// extra engine events cannot perturb any simulated outcome.
+	var auditErr error
+	audit := func(phase string) {
+		if auditErr != nil {
+			return
+		}
+		a, ok := tr.(invariant.Auditable)
+		if !ok {
+			return
+		}
+		if vs := a.AuditInvariants(); len(vs) > 0 {
+			auditErr = &invariant.Error{Phase: phase, Violations: vs}
+		}
+	}
+	if opts.Audit {
+		if audit("post-warmup"); auditErr != nil {
+			return nil, auditErr
+		}
+		base := eng.Now()
+		for k := 1; k <= 3; k++ {
+			phase := fmt.Sprintf("window+%d/4", k)
+			eng.ScheduleAt(base+window*engine.Time(k)/4, func() { audit(phase) })
+		}
+	}
+	scheduleFaults(eng, window, tr, opts.Faults)
+
+	s.Run(window)
+	if opts.Audit {
+		audit("end-of-run")
+	}
+	if auditErr != nil {
+		return nil, auditErr
+	}
+
+	return collect(s, opts, window, dramBytes), nil
+}
+
+// scheduleFaults arms the plan's corruption ops on the event engine. Ops with
+// Events set fire once the engine has executed that many events (polled at a
+// fixed cadence); the rest fire at their AtFrac position inside the window.
+// Injection order is deterministic: the engine is single-threaded and FIFO at
+// equal timestamps.
+func scheduleFaults(eng *engine.Engine, window engine.Time, tr mc.Translator, plan *faults.Plan) {
+	if plan == nil {
+		return
+	}
+	tgt, ok := tr.(faults.Target)
+	if !ok {
+		return // e.g. the no-compression baseline has no MC state to corrupt
+	}
+	base := eng.Now()
+	for _, op := range plan.Ops {
+		op := op
+		if op.Events > 0 {
+			poll := window / 256
+			if poll == 0 {
+				poll = 1
+			}
+			var probe func()
+			probe = func() {
+				if eng.Executed() >= op.Events {
+					plan.Apply(tgt, op)
+					return
+				}
+				eng.Schedule(poll, probe)
+			}
+			eng.Schedule(poll, probe)
+			continue
+		}
+		frac := op.AtFrac
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		// Quantize the fraction to 1/4096ths of the window so the offset is
+		// composed in integer picoseconds (no floating-point duration math).
+		steps := int64(frac * 4096)
+		eng.ScheduleAt(base+window/4096*engine.Time(steps), func() { plan.Apply(tgt, op) })
+	}
 }
 
 func collect(s *System, opts Options, window engine.Time, dramBytes uint64) *Result {

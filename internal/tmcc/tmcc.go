@@ -13,7 +13,10 @@
 // 16/64/128KB for the Figure 6 coarse-compression sweep.
 package tmcc
 
-import "dylect/internal/mc"
+import (
+	"dylect/internal/invariant"
+	"dylect/internal/mc"
+)
 
 // Controller is the TMCC memory-controller module.
 type Controller struct {
@@ -106,4 +109,19 @@ func (c *Controller) WalkHint(addr uint64) {
 	}
 }
 
+// AuditInvariants extends the shared mc.Base audit with TMCC's own
+// structural invariant: the hierarchy is strictly two-level (Section II-B),
+// so no unit may ever reach ML0 — short CTEs do not exist in this design.
+func (c *Controller) AuditInvariants() []invariant.Violation {
+	rep := &invariant.Report{Violations: c.Base.AuditInvariants()}
+	for u := uint64(0); u < c.NumUnits(); u++ {
+		if c.Level(u) == mc.ML0 {
+			rep.Addf(mc.CheckLevelExclusivity, int64(u), invariant.None,
+				"TMCC is two-level but unit is in ML0")
+		}
+	}
+	return rep.Violations
+}
+
 var _ mc.Translator = (*Controller)(nil)
+var _ invariant.Auditable = (*Controller)(nil)

@@ -6,8 +6,11 @@
 #   lint     go run ./cmd/dylect-lint ./...   (the repo's own analyzers)
 #   race     go test -race ./...   (includes the jobs=1 vs jobs=N harness
 #            equivalence and single-flight hammer tests at 4+ jobs)
-#   golden   re-run the golden-run regression corpus and byte-compare
-#            against internal/harness/testdata/golden
+#   golden   re-run the golden-run regression corpus (invariant audits on)
+#            and byte-compare against internal/harness/testdata/golden
+#   faults   fault-injection smoke: seeded mid-run corruptions of every
+#            class must be caught by the invariant auditor, and scripted
+#            cell panics/hangs/transients must be contained by the pool
 #   fuzz     10s smoke per fuzz target in ./internal/comp
 #
 # Run a subset with e.g. `scripts/check.sh build lint`. No arguments runs
@@ -17,13 +20,13 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race golden fuzz)
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race golden faults fuzz)
 
 for s in "${steps[@]}"; do
 	case "$s" in
-	build | vet | lint | race | golden | fuzz) ;;
+	build | vet | lint | race | golden | faults | fuzz) ;;
 	*)
-		echo "unknown step '$s' (want: build vet lint race golden fuzz)" >&2
+		echo "unknown step '$s' (want: build vet lint race golden faults fuzz)" >&2
 		exit 2
 		;;
 	esac
@@ -58,6 +61,17 @@ fi
 if want golden; then
 	echo "== golden corpus (go test -run TestGoldenCorpus ./internal/harness)"
 	go test -count=1 -run 'TestGoldenCorpus' ./internal/harness
+fi
+
+if want faults; then
+	echo "== fault-injection smoke"
+	# The seeded corruption matrix: every fault class x compressed design,
+	# detected by the auditor inside the timed window.
+	go test -count=1 -run 'TestAuditorCatchesEverySeededFaultClass|TestEventCountTrigger|TestFaultsIgnoredWithoutMCState|TestAuditCleanRuns' ./internal/system
+	# Injector unit tests + the pool containment suite (watchdog, retry,
+	# panic capture, graceful drain, checkpoint resume).
+	go test -count=1 ./internal/faults
+	go test -count=1 -run 'TestWatchdog|TestTransient|TestDeterministicFailureNotRetried|TestGracefulDrain|TestCheckpoint|TestScaledAwayFootprintError' ./internal/harness
 fi
 
 if want fuzz; then
