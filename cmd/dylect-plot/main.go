@@ -9,6 +9,11 @@
 //
 // One SVG is produced per (metric, setting): grouped bars per workload,
 // one bar per design.
+//
+// It also consumes the observability exports (see series.go):
+//
+//	dylect-plot -metrics run.metrics.ndjson           # ASCII ML0/1/2 series
+//	dylect-plot -metrics m.ndjson -trace t.json -validate-only   # CI schema check
 package main
 
 import (
@@ -59,9 +64,28 @@ func run(args []string, out io.Writer) int {
 		outDir  = fs.String("out", "figures", "output directory for SVGs")
 		metric  = fs.String("metric", "", "single metric to plot (default: all)")
 		setting = fs.String("setting", "", "single setting to plot (low/high; default: all)")
+
+		metricsIn    = fs.String("metrics", "", "metrics NDJSON from dylectsim -metrics-out: render ASCII ML0/ML1/ML2 occupancy series instead of SVGs")
+		traceIn      = fs.String("trace", "", "trace JSON from dylectsim -trace-out: validate its Chrome trace-event shape")
+		validateOnly = fs.Bool("validate-only", false, "with -metrics/-trace: schema-check only, print a summary, render nothing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *metricsIn != "" || *traceIn != "" {
+		code := 0
+		if *metricsIn != "" {
+			if c := runMetricsSeries(*metricsIn, *validateOnly, out); c != 0 {
+				code = c
+			}
+		}
+		if *traceIn != "" {
+			if c := runTraceCheck(*traceIn, out); c != 0 {
+				code = c
+			}
+		}
+		return code
 	}
 
 	data, err := os.ReadFile(*in)

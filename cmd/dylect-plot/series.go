@@ -1,0 +1,167 @@
+package main
+
+// Observability mode: -metrics renders the NDJSON exported by
+// `dylectsim -metrics-out` as ASCII time-series (ML0/ML1/ML2 occupancy per
+// cell) on stdout, and -trace checks a `-trace-out` Chrome trace-event
+// document. -validate-only reduces both to pure schema checks with a
+// one-line summary — CI's observability smoke job runs exactly that against
+// the artifacts a fresh simulation just produced.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"dylect/internal/stats"
+)
+
+// sampleRow mirrors one line of harness.ExportMetricsNDJSON (kept local,
+// like record, so the tool also works on hand-trimmed files). Only the
+// fields the plots and schema checks need are decoded.
+type sampleRow struct {
+	Cell string `json:"cell"`
+	Key  string `json:"key"`
+
+	Index  int    `json:"i"`
+	TimePS uint64 `json:"tPS"`
+
+	ML0       uint64 `json:"ml0Pages"`
+	ML1       uint64 `json:"ml1Pages"`
+	ML2       uint64 `json:"ml2Pages"`
+	FreeBytes uint64 `json:"freeBytes"`
+}
+
+// readSeries parses and schema-checks a metrics NDJSON export: every line
+// must parse, carry a cell identity, and each cell's sample indices must
+// count up from 0 with non-decreasing timestamps.
+func readSeries(data []byte) (order []string, byKey map[string][]sampleRow, err error) {
+	byKey = map[string][]sampleRow{}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var row sampleRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			return nil, nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		if row.Cell == "" || row.Key == "" {
+			return nil, nil, fmt.Errorf("line %d: missing cell identity", i+1)
+		}
+		prev := byKey[row.Key]
+		if row.Index != len(prev) {
+			return nil, nil, fmt.Errorf("line %d: cell %s sample index %d, want %d", i+1, row.Cell, row.Index, len(prev))
+		}
+		if len(prev) > 0 && row.TimePS < prev[len(prev)-1].TimePS {
+			return nil, nil, fmt.Errorf("line %d: cell %s time went backwards", i+1, row.Cell)
+		}
+		if len(prev) == 0 {
+			order = append(order, row.Key)
+		}
+		byKey[row.Key] = append(prev, row)
+	}
+	if len(byKey) == 0 {
+		return nil, nil, fmt.Errorf("no samples")
+	}
+	return order, byKey, nil
+}
+
+// runMetricsSeries handles -metrics: validate, then (unless validateOnly)
+// render one occupancy time-series block per cell and level.
+func runMetricsSeries(path string, validateOnly bool, out io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(out, "metrics: %v\n", err)
+		return 1
+	}
+	order, byKey, err := readSeries(data)
+	if err != nil {
+		fmt.Fprintf(out, "metrics: %s: %v\n", path, err)
+		return 1
+	}
+	total := 0
+	for _, rows := range byKey {
+		total += len(rows)
+	}
+	if validateOnly {
+		fmt.Fprintf(out, "metrics ok: %d cells, %d samples\n", len(byKey), total)
+		return 0
+	}
+	for _, key := range order {
+		rows := byKey[key]
+		fmt.Fprintf(out, "== %s (%d samples)\n", rows[0].Cell, len(rows))
+		levels := []struct {
+			name string
+			get  func(sampleRow) uint64
+		}{
+			{"ML0 pages (uncompressed)", func(r sampleRow) uint64 { return r.ML0 }},
+			{"ML1 pages (compressed, pre-gathered)", func(r sampleRow) uint64 { return r.ML1 }},
+			{"ML2 pages (compressed, scattered)", func(r sampleRow) uint64 { return r.ML2 }},
+		}
+		for _, lv := range levels {
+			b := stats.NewBarChart(lv.name)
+			for _, r := range rows {
+				b.Add(fmt.Sprintf("t=%.1fus", float64(r.TimePS)/1e6), float64(lv.get(r)))
+			}
+			fmt.Fprintln(out, b)
+		}
+	}
+	return 0
+}
+
+// traceDoc / traceEvent mirror the Chrome trace-event schema the harness
+// emits (metrics.MarshalTrace) — the fields Perfetto actually keys on.
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph  string  `json:"ph"`
+	Pid int     `json:"pid"`
+	TS  float64 `json:"ts"`
+}
+
+// runTraceCheck handles -trace: validate a trace document's shape (known
+// phases, 1-based process tracks) and print a per-phase summary.
+func runTraceCheck(path string, out io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(out, "trace: %v\n", err)
+		return 1
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(out, "trace: %s: %v\n", path, err)
+		return 1
+	}
+	if len(doc.TraceEvents) == 0 {
+		fmt.Fprintf(out, "trace: %s: no events\n", path)
+		return 1
+	}
+	pids := map[int]bool{}
+	phases := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M", "C", "i":
+		default:
+			fmt.Fprintf(out, "trace: %s: event %d has unexpected phase %q\n", path, i, e.Ph)
+			return 1
+		}
+		if e.Pid < 1 {
+			fmt.Fprintf(out, "trace: %s: event %d has pid %d, want >= 1\n", path, i, e.Pid)
+			return 1
+		}
+		pids[e.Pid] = true
+		phases[e.Ph]++
+	}
+	parts := make([]string, 0, len(phases))
+	for ph := range phases {
+		parts = append(parts, fmt.Sprintf("%s=%d", ph, phases[ph]))
+	}
+	sort.Strings(parts)
+	fmt.Fprintf(out, "trace ok: %d events across %d cells (%s)\n",
+		len(doc.TraceEvents), len(pids), strings.Join(parts, " "))
+	return 0
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleNDJSON = `{"cell":"bfs/dylect/low","key":"bfs_dylect_low","i":0,"tPS":10000000,"ml0Pages":4,"ml1Pages":60,"ml2Pages":0,"freeBytes":1024}
+{"cell":"bfs/dylect/low","key":"bfs_dylect_low","i":1,"tPS":20000000,"ml0Pages":12,"ml1Pages":50,"ml2Pages":2,"freeBytes":512}
+{"cell":"bfs/tmcc/low","key":"bfs_tmcc_low","i":0,"tPS":10000000,"ml0Pages":0,"ml1Pages":64,"ml2Pages":0,"freeBytes":2048}
+{"cell":"bfs/tmcc/low","key":"bfs_tmcc_low","i":1,"tPS":20000000,"ml0Pages":0,"ml1Pages":62,"ml2Pages":2,"freeBytes":1024}
+`
+
+const sampleTrace = `{"traceEvents":[
+  {"ph":"M","pid":1,"tid":0,"name":"process_name"},
+  {"ph":"C","pid":1,"tid":1,"ts":10,"name":"occupancy"},
+  {"ph":"i","pid":1,"tid":2,"ts":12,"name":"promote","s":"t"}
+]}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSeriesRender(t *testing.T) {
+	p := writeTemp(t, "m.ndjson", sampleNDJSON)
+	var sb strings.Builder
+	if code := run([]string{"-metrics", p}, &sb); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, sb.String())
+	}
+	s := sb.String()
+	for _, want := range []string{
+		"== bfs/dylect/low (2 samples)",
+		"== bfs/tmcc/low (2 samples)",
+		"ML0 pages", "ML1 pages", "ML2 pages",
+		"t=10.0us", "t=20.0us",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// ML1 dominates in the sample data, so its series must carry bars.
+	if strings.Count(s, "#") == 0 {
+		t.Fatalf("no bars rendered:\n%s", s)
+	}
+}
+
+func TestSeriesValidateOnly(t *testing.T) {
+	m := writeTemp(t, "m.ndjson", sampleNDJSON)
+	tr := writeTemp(t, "t.json", sampleTrace)
+	var sb strings.Builder
+	if code := run([]string{"-metrics", m, "-trace", tr, "-validate-only"}, &sb); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, sb.String())
+	}
+	s := sb.String()
+	if !strings.Contains(s, "metrics ok: 2 cells, 4 samples") {
+		t.Errorf("missing metrics summary:\n%s", s)
+	}
+	if !strings.Contains(s, "trace ok: 3 events across 1 cells") {
+		t.Errorf("missing trace summary:\n%s", s)
+	}
+	if strings.Contains(s, "ML0 pages") {
+		t.Errorf("-validate-only must not render charts:\n%s", s)
+	}
+}
+
+func TestSeriesSchemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       "{not json\n",
+		"missing cell":   `{"key":"k","i":0,"tPS":1}` + "\n",
+		"bad index":      `{"cell":"c","key":"k","i":5,"tPS":1}` + "\n",
+		"time backwards": `{"cell":"c","key":"k","i":0,"tPS":100}` + "\n" + `{"cell":"c","key":"k","i":1,"tPS":50}` + "\n",
+		"empty":          "\n",
+	}
+	for name, content := range cases {
+		p := writeTemp(t, "m.ndjson", content)
+		var sb strings.Builder
+		if code := run([]string{"-metrics", p, "-validate-only"}, &sb); code != 1 {
+			t.Errorf("%s: exit %d, want 1:\n%s", name, code, sb.String())
+		}
+	}
+	var sb strings.Builder
+	if code := run([]string{"-metrics", "/nonexistent.ndjson"}, &sb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestTraceSchemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":  "{not json",
+		"no events": `{"traceEvents":[]}`,
+		"bad phase": `{"traceEvents":[{"ph":"X","pid":1}]}`,
+		"bad pid":   `{"traceEvents":[{"ph":"C","pid":0}]}`,
+	}
+	for name, content := range cases {
+		p := writeTemp(t, "t.json", content)
+		var sb strings.Builder
+		if code := run([]string{"-trace", p}, &sb); code != 1 {
+			t.Errorf("%s: exit %d, want 1:\n%s", name, code, sb.String())
+		}
+	}
+}
+
+// The observability exports a real simulation produces must pass the same
+// validator CI runs — covered end to end in cmd/dylectsim's CLI test; here
+// we only pin the flag interaction: -metrics mode never touches -out SVGs.
+func TestSeriesModeSkipsSVGs(t *testing.T) {
+	m := writeTemp(t, "m.ndjson", sampleNDJSON)
+	outDir := t.TempDir()
+	var sb strings.Builder
+	if code := run([]string{"-metrics", m, "-out", outDir}, &sb); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, sb.String())
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("series mode wrote SVGs: %v", entries)
+	}
+}

@@ -43,6 +43,14 @@ func cli(ctx context.Context, args []string, out, errOut io.Writer) int {
 		cellTO     = fs.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
 		retries    = fs.Int("retries", 0, "retry a cell's transient failures up to this many times")
 		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between retries (scaled by attempt)")
+
+		metricsOut     = fs.String("metrics-out", "", "write per-cell interval samples as NDJSON to this file (written atomically)")
+		metricsSamples = fs.Int("metrics-samples", 32, "interval samples per cell when -metrics-out is set")
+		traceOut       = fs.String("trace-out", "", "write per-cell structured events as Chrome trace-event JSON (Perfetto-loadable) to this file")
+		traceCap       = fs.Int("trace-cap", 0, "per-cell event ring capacity for -trace-out (0 = default 65536; oldest events drop beyond it)")
+		profileOut     = fs.String("profile-out", "", "write per-cell wall time and peak RSS as JSON to this file (nondeterministic; kept out of -json)")
+		pprofCPU       = fs.String("pprof-cpu", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		pprofMem       = fs.String("pprof-mem", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +81,29 @@ func cli(ctx context.Context, args []string, out, errOut io.Writer) int {
 	}
 	cfg.Seed = *seed
 	cfg.Audit = *audit
+	if *metricsOut != "" {
+		cfg.MetricsSamples = *metricsSamples
+	}
+	if *traceOut != "" {
+		cfg.Trace = true
+		cfg.TraceCap = *traceCap
+	}
+
+	if *pprofCPU != "" {
+		stop, err := startCPUProfile(*pprofCPU)
+		if err != nil {
+			fmt.Fprintf(out, "pprof: %v\n", err)
+			return 2
+		}
+		defer stop()
+	}
+	if *pprofMem != "" {
+		defer func() {
+			if err := writeHeapProfile(*pprofMem); err != nil {
+				fmt.Fprintf(errOut, "pprof: %v\n", err)
+			}
+		}()
+	}
 
 	runner := harness.NewRunner(cfg)
 	if *checkpoint != "" {
@@ -125,17 +156,33 @@ func cli(ctx context.Context, args []string, out, errOut io.Writer) int {
 	}
 	fmt.Fprintf(errOut, "%d simulations in %.1fs\n", runner.Runs(), time.Since(start).Seconds())
 
-	if *jsonOut != "" {
-		data, jerr := runner.ExportJSON()
-		if jerr != nil {
-			fmt.Fprintf(out, "json export: %v\n", jerr)
-			return 1
+	export := func(name, path string, gen func() ([]byte, error)) bool {
+		if path == "" {
+			return true
 		}
-		if werr := atomicio.WriteFile(*jsonOut, data, 0o644); werr != nil {
-			fmt.Fprintf(out, "json export: %v\n", werr)
-			return 1
+		data, gerr := gen()
+		if gerr != nil {
+			fmt.Fprintf(out, "%s export: %v\n", name, gerr)
+			return false
 		}
-		fmt.Fprintf(errOut, "raw results written to %s\n", *jsonOut)
+		if werr := atomicio.WriteFile(path, data, 0o644); werr != nil {
+			fmt.Fprintf(out, "%s export: %v\n", name, werr)
+			return false
+		}
+		fmt.Fprintf(errOut, "%s written to %s\n", name, path)
+		return true
+	}
+	if !export("json", *jsonOut, runner.ExportJSON) {
+		return 1
+	}
+	if !export("metrics", *metricsOut, runner.ExportMetricsNDJSON) {
+		return 1
+	}
+	if !export("trace", *traceOut, runner.ExportTraceJSON) {
+		return 1
+	}
+	if !export("profile", *profileOut, runner.ExportProfileJSON) {
+		return 1
 	}
 	if interrupted {
 		return 130

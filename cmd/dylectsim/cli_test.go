@@ -190,3 +190,92 @@ func TestCLIJobsEquivalence(t *testing.T) {
 		t.Errorf("-json export differs between -jobs 1 and -jobs 8")
 	}
 }
+
+// TestCLIObservabilityFlags drives the -metrics-out/-trace-out/-profile-out
+// and pprof flags end to end, and pins that enabling them leaves the
+// deterministic exports (stdout, -json) byte-identical.
+func TestCLIObservabilityFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	base := []string{
+		"-exp", "fig17", "-workloads", "omnetpp",
+		"-scale", "32", "-warmup", "5000", "-window", "5",
+	}
+	plainDir := t.TempDir()
+	plainJSON := filepath.Join(plainDir, "out.json")
+	var plainOut strings.Builder
+	if code := cli(context.Background(), append(append([]string{}, base...), "-json", plainJSON),
+		&plainOut, io.Discard); code != 0 {
+		t.Fatalf("plain run exit %d:\n%s", code, plainOut.String())
+	}
+
+	dir := t.TempDir()
+	paths := map[string]string{
+		"json":    filepath.Join(dir, "out.json"),
+		"metrics": filepath.Join(dir, "metrics.ndjson"),
+		"trace":   filepath.Join(dir, "trace.json"),
+		"profile": filepath.Join(dir, "profile.json"),
+		"cpu":     filepath.Join(dir, "cpu.pprof"),
+		"mem":     filepath.Join(dir, "mem.pprof"),
+	}
+	args := append(append([]string{}, base...),
+		"-json", paths["json"],
+		"-metrics-out", paths["metrics"], "-metrics-samples", "6",
+		"-trace-out", paths["trace"],
+		"-profile-out", paths["profile"],
+		"-pprof-cpu", paths["cpu"], "-pprof-mem", paths["mem"],
+	)
+	var obsOut strings.Builder
+	if code := cli(context.Background(), args, &obsOut, io.Discard); code != 0 {
+		t.Fatalf("observed run exit %d:\n%s", code, obsOut.String())
+	}
+
+	if plainOut.String() != obsOut.String() {
+		t.Error("enabling observability changed stdout")
+	}
+	plain, err := os.ReadFile(plainJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := os.ReadFile(paths["json"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != string(observed) {
+		t.Error("enabling observability changed the -json export")
+	}
+
+	metrics, err := os.ReadFile(paths["metrics"])
+	if err != nil {
+		t.Fatalf("metrics NDJSON not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(metrics)), "\n")
+	if len(lines) != 6 { // one cell, six samples
+		t.Errorf("metrics lines = %d, want 6", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, `"cell":"omnetpp/nocomp/none"`) {
+			t.Errorf("metrics line missing cell tag: %s", line)
+		}
+	}
+	trace, err := os.ReadFile(paths["trace"])
+	if err != nil {
+		t.Fatalf("trace JSON not written: %v", err)
+	}
+	if !strings.Contains(string(trace), `"traceEvents"`) {
+		t.Error("trace output is not Chrome trace-event JSON")
+	}
+	profile, err := os.ReadFile(paths["profile"])
+	if err != nil {
+		t.Fatalf("profile JSON not written: %v", err)
+	}
+	if !strings.Contains(string(profile), `"wallMS"`) {
+		t.Error("profile output missing wall time")
+	}
+	for _, p := range []string{paths["cpu"], paths["mem"]} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("pprof profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

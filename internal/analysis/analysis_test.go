@@ -38,6 +38,18 @@ func (c *Counter) Add(d uint64)  { c.n += d }
 func (c *Counter) Value() uint64 { return c.n }
 func (c *Counter) Reset()        { c.n = 0 }
 `
+
+	fixtureMetricsPath = "fix/internal/metrics"
+	fixtureMetricsSrc  = `package metrics
+
+import "fix/internal/stats"
+
+type Recorder struct{ counters []*stats.Counter }
+
+func (r *Recorder) RegisterCounter(name string, c *stats.Counter) {
+	r.counters = append(r.counters, c)
+}
+`
 )
 
 // loadFixture type-checks an in-memory program consisting of the fixture
@@ -48,6 +60,7 @@ func loadFixture(t *testing.T, src string, extra ...map[string]map[string]string
 	pkgs := map[string]map[string]string{
 		fixtureEnginePath:  {"engine.go": fixtureEngineSrc},
 		fixtureStatsPath:   {"stats.go": fixtureStatsSrc},
+		fixtureMetricsPath: {"metrics.go": fixtureMetricsSrc},
 		"fix/internal/sut": {"sut.go": src},
 	}
 	for _, m := range extra {

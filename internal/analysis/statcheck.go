@@ -3,7 +3,9 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // StatCheck returns the analyzer that enforces stats-counter integrity
@@ -11,8 +13,11 @@ import (
 // array of them) declared in a module package must be
 //
 //   - incremented somewhere (an .Inc or .Add call), and
-//   - read somewhere (a .Value call) — the path by which it reaches
-//     serialized results.
+//   - read somewhere — a .Value call, or the counter's address handed to
+//     the metrics registry (any call into a package whose import path ends
+//     in internal/metrics, e.g. Recorder.RegisterCounter). Both are paths
+//     by which the count reaches serialized output: Value feeds
+//     system.Result, registration feeds interval samples.
 //
 // A counter that is incremented but never read is a write-only stat: it
 // costs work on the hot path and silently vanishes from results.json. A
@@ -79,6 +84,18 @@ func runStatCheck(prog *Program) []Diagnostic {
 			if !ok {
 				return true
 			}
+			// A counter whose address is passed into the metrics package
+			// is being registered for interval sampling — that is a read
+			// path (the registry snapshots Value on every sample).
+			if calleeInMetricsPkg(pkg.Info, call) {
+				for _, arg := range call.Args {
+					if f := counterAddrArg(pkg.Info, arg); f != nil {
+						if cf, tracked := fields[f]; tracked {
+							cf.read = true
+						}
+					}
+				}
+			}
 			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -144,6 +161,32 @@ func counterTyped(t types.Type) bool {
 		return isStatsCounter(arr.Elem())
 	}
 	return false
+}
+
+// calleeInMetricsPkg reports whether the call's callee (function or method)
+// is declared in a package whose import path ends in internal/metrics.
+func calleeInMetricsPkg(info *types.Info, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(fun.Sel)
+	case *ast.Ident:
+		obj = info.ObjectOf(fun)
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/metrics")
+}
+
+// counterAddrArg resolves a &s.Field (or &s.Arr[i]) argument to the counter
+// struct field whose address is being taken; nil for anything else.
+func counterAddrArg(info *types.Info, e ast.Expr) *types.Var {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return fieldOfCounterExpr(info, u.X)
 }
 
 // fieldOfCounterExpr resolves the struct field behind an expression whose

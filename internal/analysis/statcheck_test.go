@@ -98,6 +98,69 @@ func (s *S) touch(c int) { s.PerClass[c].Inc() }
 	wantFinding(t, runOn(t, loadFixture(t, src), StatCheck()), "write-only", "PerClass")
 }
 
+func TestStatCheckRegistryReadOK(t *testing.T) {
+	// A sampled-only counter: incremented on the hot path and handed to
+	// the metrics registry instead of exposing a Value() read. The
+	// registration is its serialization path, so it is not write-only.
+	src := `package sut
+
+import (
+	"fix/internal/metrics"
+	"fix/internal/stats"
+)
+
+type S struct {
+	Evictions stats.Counter
+}
+
+func (s *S) touch() { s.Evictions.Inc() }
+
+func (s *S) RegisterMetrics(rec *metrics.Recorder) {
+	rec.RegisterCounter("sut.evictions", &s.Evictions)
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), StatCheck()))
+}
+
+func TestStatCheckRegistryOnlyStillOrphaned(t *testing.T) {
+	// Registration is a read path, not a write: a registered counter
+	// nobody increments still samples as a misleading constant zero.
+	src := `package sut
+
+import (
+	"fix/internal/metrics"
+	"fix/internal/stats"
+)
+
+type S struct {
+	Evictions stats.Counter
+}
+
+func (s *S) RegisterMetrics(rec *metrics.Recorder) {
+	rec.RegisterCounter("sut.evictions", &s.Evictions)
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), StatCheck()), "export-orphaned", "Evictions")
+}
+
+func TestStatCheckNonMetricsAddrNotARead(t *testing.T) {
+	// Taking a counter's address for a call into any other package is
+	// not a read — only the metrics registry implies sampling.
+	src := `package sut
+
+import "fix/internal/stats"
+
+type S struct {
+	Hits stats.Counter
+}
+
+func stash(c *stats.Counter) {}
+
+func (s *S) touch() { s.Hits.Inc(); stash(&s.Hits) }
+`
+	wantFinding(t, runOn(t, loadFixture(t, src), StatCheck()), "write-only", "Hits")
+}
+
 func TestStatCheckArrayBalancedOK(t *testing.T) {
 	src := `package sut
 

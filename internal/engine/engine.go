@@ -71,11 +71,24 @@ func (h *eventHeap) Pop() interface{} {
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // ready to use at time 0.
+//
+// Besides the simulation event heap, the engine keeps a separate
+// observation queue (ObserveAt): read-only callbacks that run once
+// simulated time passes their timestamp. Observations live outside the
+// event heap — they consume no seq numbers and never interleave with
+// simulation events at the same tick — so instrumenting a run cannot
+// reorder FIFO ties or otherwise perturb any simulated outcome. The
+// engine enforces the read-only discipline: scheduling from inside an
+// observation callback panics.
 type Engine struct {
 	now      Time
 	seq      uint64
 	events   eventHeap
 	executed uint64
+
+	obsSeq uint64
+	obs    eventHeap
+	inObs  bool
 }
 
 // New returns a fresh Engine at time zero.
@@ -97,7 +110,12 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 
 // ScheduleAt runs fn at the given absolute time. Scheduling in the past
 // panics: it indicates a broken timing model, not a recoverable condition.
+// Scheduling from inside an observation callback also panics: observations
+// are read-only by contract (see ObserveAt).
 func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if e.inObs {
+		panic("engine: observation callbacks are read-only and must not schedule events")
+	}
 	if at < e.now {
 		panic(fmt.Sprintf("engine: scheduling event at %v in the past (now %v)", at, e.now))
 	}
@@ -105,12 +123,61 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
 }
 
+// ObserveAt registers a read-only observation callback. fn runs once every
+// simulation event at time <= at has executed — concretely, just before
+// the first event with a later timestamp, or when RunUntil reaches a
+// horizon >= at — with Now() set to at. Observations see post-tick state,
+// execute in (at, registration) order, keep the event heap and its seq
+// tie-breakers untouched, and may not schedule events or further
+// observations (doing either panics). They exist for instrumentation:
+// samplers and auditors that must be provably incapable of changing any
+// simulated outcome.
+func (e *Engine) ObserveAt(at Time, fn func()) {
+	if e.inObs {
+		panic("engine: observation callbacks are read-only and must not schedule observations")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("engine: scheduling observation at %v in the past (now %v)", at, e.now))
+	}
+	e.obsSeq++
+	heap.Push(&e.obs, &event{at: at, seq: e.obsSeq, fn: fn})
+}
+
+// flushObsBefore runs observations due strictly before the next event time
+// limit (exclusive), advancing time to each observation's timestamp.
+func (e *Engine) flushObsBefore(limit Time) {
+	for len(e.obs) > 0 && e.obs[0].at < limit {
+		e.runObs()
+	}
+}
+
+// flushObsThrough runs observations with timestamps up to and including
+// horizon.
+func (e *Engine) flushObsThrough(horizon Time) {
+	for len(e.obs) > 0 && e.obs[0].at <= horizon {
+		e.runObs()
+	}
+}
+
+// runObs pops and executes the earliest observation.
+func (e *Engine) runObs() {
+	ob := heap.Pop(&e.obs).(*event)
+	if e.now < ob.at {
+		e.now = ob.at
+	}
+	e.inObs = true
+	ob.fn()
+	e.inObs = false
+}
+
 // Step executes the single earliest pending event, advancing time to it.
-// It reports whether an event was executed.
+// It reports whether an event was executed. Observations due before the
+// event's timestamp run first.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
+	e.flushObsBefore(e.events[0].at)
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
 	e.executed++
@@ -120,25 +187,32 @@ func (e *Engine) Step() bool {
 
 // RunUntil executes events in order until the queue is empty or the next
 // event lies beyond the horizon. Time is left at the later of the last
-// executed event and the horizon.
+// executed event and the horizon. Observations due inside the horizon run
+// at their timestamps (after all simulation events at the same tick).
 func (e *Engine) RunUntil(horizon Time) {
 	for len(e.events) > 0 && e.events[0].at <= horizon {
 		e.Step()
 	}
+	e.flushObsThrough(horizon)
 	if e.now < horizon {
 		e.now = horizon
 	}
 }
 
 // Run executes all pending events (including ones scheduled by executed
-// events) until the queue drains.
+// events) until the queue drains, then flushes any remaining observations.
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+	for len(e.obs) > 0 {
+		e.runObs()
+	}
 }
 
-// Drain discards all pending events without running them. Useful when a
-// simulation window ends and in-flight work should not be accounted.
+// Drain discards all pending events and observations without running them.
+// Useful when a simulation window ends and in-flight work should not be
+// accounted.
 func (e *Engine) Drain() {
 	e.events = e.events[:0]
+	e.obs = e.obs[:0]
 }

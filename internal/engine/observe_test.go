@@ -1,0 +1,137 @@
+package engine
+
+import "testing"
+
+// The observation queue's whole reason to exist is that instrumenting a run
+// cannot change it: observations run after every simulation event at their
+// tick, consume no event-heap seq numbers, and may not schedule anything.
+
+func TestObserveRunsAfterSameTickEvents(t *testing.T) {
+	e := New()
+	var order []string
+	e.ObserveAt(100, func() { order = append(order, "obs") })
+	e.ScheduleAt(100, func() { order = append(order, "ev1") })
+	e.ScheduleAt(100, func() { order = append(order, "ev2") })
+	e.ScheduleAt(200, func() { order = append(order, "later") })
+	e.Run()
+	want := []string{"ev1", "ev2", "obs", "later"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestObserveSeesAdvancedTime(t *testing.T) {
+	e := New()
+	var at Time
+	e.ObserveAt(150, func() { at = e.Now() })
+	e.ScheduleAt(100, func() {})
+	e.ScheduleAt(200, func() {})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("observation ran at %v, want 150", at)
+	}
+}
+
+func TestObserveAtHorizonRunsInRunUntil(t *testing.T) {
+	e := New()
+	ran := false
+	e.ObserveAt(300, func() { ran = true })
+	e.ScheduleAt(100, func() {})
+	e.RunUntil(300)
+	if !ran {
+		t.Fatal("observation at the horizon did not run")
+	}
+	if e.Now() != 300 {
+		t.Fatalf("now = %v, want 300", e.Now())
+	}
+}
+
+func TestObserveBeyondHorizonDoesNotRun(t *testing.T) {
+	e := New()
+	ran := false
+	e.ObserveAt(400, func() { ran = true })
+	e.RunUntil(300)
+	if ran {
+		t.Fatal("observation beyond the horizon ran")
+	}
+	e.Drain()
+	e.Run()
+	if ran {
+		t.Fatal("Drain did not discard the pending observation")
+	}
+}
+
+func TestObserveFIFOAtEqualTimes(t *testing.T) {
+	e := New()
+	var order []int
+	e.ObserveAt(100, func() { order = append(order, 1) })
+	e.ObserveAt(100, func() { order = append(order, 2) })
+	e.ObserveAt(100, func() { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestObserveCallbackCannotSchedule(t *testing.T) {
+	e := New()
+	e.ObserveAt(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt inside an observation did not panic")
+			}
+		}()
+		e.ScheduleAt(20, func() {})
+	})
+	e.Run()
+}
+
+func TestObserveCallbackCannotObserve(t *testing.T) {
+	e := New()
+	e.ObserveAt(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ObserveAt inside an observation did not panic")
+			}
+		}()
+		e.ObserveAt(20, func() {})
+	})
+	e.Run()
+}
+
+func TestObserveDoesNotConsumeEventSeq(t *testing.T) {
+	// Tie-break order between simulation events must be identical whether
+	// or not observations are interleaved with their registration.
+	run := func(withObs bool) []int {
+		e := New()
+		var order []int
+		e.ScheduleAt(100, func() { order = append(order, 1) })
+		if withObs {
+			e.ObserveAt(50, func() {})
+		}
+		e.ScheduleAt(100, func() { order = append(order, 2) })
+		e.Run()
+		return order
+	}
+	a, b := run(false), run(true)
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("event order changed when an observation was registered: %v vs %v", a, b)
+	}
+}
+
+func TestObservePastPanics(t *testing.T) {
+	e := New()
+	e.ScheduleAt(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("ObserveAt in the past did not panic")
+		}
+	}()
+	e.ObserveAt(50, func() {})
+}

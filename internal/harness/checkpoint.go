@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"dylect/internal/atomicio"
+	"dylect/internal/metrics"
 	"dylect/internal/system"
 )
 
@@ -78,29 +79,44 @@ func (k runKey) fileKey() string {
 	return strings.ReplaceAll(name, string(os.PathSeparator), "-") + ".json"
 }
 
-// Load restores a cell's persisted Result, reporting whether one exists. A
-// torn or unreadable file (impossible under the atomic writer, but cheap to
+// metricsFileKey names the cell's observability sidecar. It sits next to the
+// Result file so a resumed sweep restores the full metrics series too.
+func (k runKey) metricsFileKey() string {
+	return strings.TrimSuffix(k.fileKey(), ".json") + ".metrics.json"
+}
+
+// Load restores a cell's persisted Result (and its observability sidecar,
+// when one was stored), reporting whether the Result exists. A torn or
+// unreadable file (impossible under the atomic writer, but cheap to
 // tolerate) is treated as absent so the cell is simply re-simulated.
-func (c *Checkpoint) Load(key runKey) (*system.Result, bool) {
+func (c *Checkpoint) Load(key runKey) (*system.Result, *metrics.Data, bool) {
 	data, err := os.ReadFile(filepath.Join(c.dir, key.fileKey()))
 	if err != nil {
-		return nil, false
+		return nil, nil, false
 	}
 	var res system.Result
 	if err := json.Unmarshal(data, &res); err != nil {
-		return nil, false
+		return nil, nil, false
+	}
+	var obs *metrics.Data
+	if mdata, err := os.ReadFile(filepath.Join(c.dir, key.metricsFileKey())); err == nil {
+		var d metrics.Data
+		if err := json.Unmarshal(mdata, &d); err == nil {
+			obs = &d
+		}
 	}
 	c.mu.Lock()
 	c.loaded++
 	c.mu.Unlock()
-	return &res, true
+	return &res, obs, true
 }
 
-// Store persists a completed cell crash-safely. The stored record carries
-// only measurement fields: Opts is zeroed because it embeds workload
-// generator internals that do not round-trip (and nothing downstream of the
-// runner reads it).
-func (c *Checkpoint) Store(key runKey, res *system.Result) error {
+// Store persists a completed cell crash-safely, plus an observability
+// sidecar when the cell recorded metrics. The stored record carries only
+// measurement fields: Opts is zeroed because it embeds workload generator
+// internals that do not round-trip (and nothing downstream of the runner
+// reads it).
+func (c *Checkpoint) Store(key runKey, res *system.Result, obs *metrics.Data) error {
 	rec := *res
 	rec.Opts = system.Options{}
 	data, err := json.MarshalIndent(&rec, "", "  ")
@@ -109,6 +125,15 @@ func (c *Checkpoint) Store(key runKey, res *system.Result) error {
 	}
 	if err := atomicio.WriteFile(filepath.Join(c.dir, key.fileKey()), data, 0o644); err != nil {
 		return fmt.Errorf("checkpoint: cell %s: %w", key, err)
+	}
+	if obs != nil {
+		mdata, err := json.MarshalIndent(obs, "", "  ")
+		if err != nil {
+			return fmt.Errorf("checkpoint: cell %s metrics: %w", key, err)
+		}
+		if err := atomicio.WriteFile(filepath.Join(c.dir, key.metricsFileKey()), mdata, 0o644); err != nil {
+			return fmt.Errorf("checkpoint: cell %s metrics: %w", key, err)
+		}
 	}
 	c.mu.Lock()
 	c.stored++

@@ -21,6 +21,7 @@ import (
 
 	"dylect/internal/core"
 	"dylect/internal/engine"
+	"dylect/internal/metrics"
 	"dylect/internal/system"
 	"dylect/internal/trace"
 )
@@ -45,6 +46,18 @@ type Config struct {
 	// violation fails the cell with a structured error. Audits are
 	// read-only, so reported numbers are unchanged.
 	Audit bool
+
+	// MetricsSamples enables per-cell interval sampling: every simulated
+	// cell records this many evenly spaced time-resolved samples across the
+	// window (exported via ExportMetricsNDJSON). 0 disables sampling.
+	MetricsSamples int
+	// Trace enables per-cell structured event tracing (exported as Chrome
+	// trace-event JSON via ExportTraceJSON); TraceCap overrides the event
+	// ring capacity (0 = metrics.DefaultTraceCap). Recording is
+	// observation-only: the deterministic ExportJSON bytes are unchanged
+	// whether these are on or off (metrics_test.go pins this byte-for-byte).
+	Trace    bool
+	TraceCap int
 }
 
 // Full returns the configuration used for EXPERIMENTS.md: all workloads at
@@ -129,10 +142,13 @@ func (k runKey) String() string {
 
 // flight is one single-flight cache entry: the first requester simulates,
 // every later requester blocks on done. Exactly one of res/err is set once
-// done is closed.
+// done is closed. obs carries the cell's recorded observability data (nil
+// when metrics are off); prof its wall-clock profile.
 type flight struct {
 	done chan struct{}
 	res  *system.Result
+	obs  *metrics.Data
+	prof cellProfile
 	err  error
 }
 
@@ -331,6 +347,16 @@ func (r *Runner) result(key runKey) (*system.Result, error) {
 func (r *Runner) runCell(key runKey, f *flight) {
 	defer close(f.done)
 	defer r.noteSettled()
+	// Wall time and peak RSS are profiling data, kept strictly outside the
+	// deterministic exports (ExportJSON never reads them).
+	//lint:ignore determinism per-cell wall-clock profiling, never feeds simulated state or deterministic exports
+	start := time.Now()
+	defer func() {
+		f.prof = cellProfile{
+			WallNS:    time.Since(start).Nanoseconds(),
+			PeakRSSKB: peakRSSKB(),
+		}
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			f.err = fmt.Errorf("harness: cell %s: panic: %v\n%s", key, p, debug.Stack())
@@ -350,8 +376,9 @@ func (r *Runner) runCell(key runKey, f *flight) {
 	}
 
 	if cp != nil {
-		if res, ok := cp.Load(key); ok {
+		if res, obs, ok := cp.Load(key); ok {
 			f.res = res
+			f.obs = obs
 			return
 		}
 	}
@@ -376,9 +403,10 @@ func (r *Runner) runCell(key runKey, f *flight) {
 	defer func() { <-sem }()
 
 	var res *system.Result
+	var obs *metrics.Data
 	for attempt := 1; ; attempt++ {
 		var err error
-		res, err = r.attemptCell(key, timeout)
+		res, obs, err = r.attemptCell(key, timeout)
 		if err == nil {
 			break
 		}
@@ -396,12 +424,13 @@ func (r *Runner) runCell(key runKey, f *flight) {
 	}
 
 	if cp != nil {
-		if err := cp.Store(key, res); err != nil {
+		if err := cp.Store(key, res, obs); err != nil {
 			f.err = err
 			return
 		}
 	}
 	f.res = res
+	f.obs = obs
 	r.mu.Lock()
 	r.runs++
 	r.mu.Unlock()
@@ -411,13 +440,14 @@ func (r *Runner) runCell(key runKey, f *flight) {
 // watchdog can abandon it: a hung simulator (or injected hang) cannot block
 // the sweep. The abandoned goroutine's eventual result, if any, lands in a
 // buffered channel and is discarded.
-func (r *Runner) attemptCell(key runKey, timeout time.Duration) (*system.Result, error) {
+func (r *Runner) attemptCell(key runKey, timeout time.Duration) (*system.Result, *metrics.Data, error) {
 	r.mu.Lock()
 	hook := r.cellHook
 	r.mu.Unlock()
 
 	type outcome struct {
 		res *system.Result
+		obs *metrics.Data
 		err error
 	}
 	ch := make(chan outcome, 1)
@@ -433,12 +463,12 @@ func (r *Runner) attemptCell(key runKey, timeout time.Duration) (*system.Result,
 				return
 			}
 		}
-		res, err := r.simulate(key)
+		res, obs, err := r.simulate(key)
 		if err != nil {
 			ch <- outcome{err: fmt.Errorf("harness: cell %s: %w", key, err)}
 			return
 		}
-		ch <- outcome{res: res}
+		ch <- outcome{res: res, obs: obs}
 	}()
 
 	var watchdog <-chan time.Time
@@ -449,17 +479,18 @@ func (r *Runner) attemptCell(key runKey, timeout time.Duration) (*system.Result,
 	}
 	select {
 	case o := <-ch:
-		return o.res, o.err
+		return o.res, o.obs, o.err
 	case <-watchdog:
-		return nil, fmt.Errorf("harness: cell %s: no result after %v; watchdog abandoned the worker", key, timeout)
+		return nil, nil, fmt.Errorf("harness: cell %s: no result after %v; watchdog abandoned the worker", key, timeout)
 	}
 }
 
-// simulate performs the actual system run for a cell.
-func (r *Runner) simulate(key runKey) (*system.Result, error) {
+// simulate performs the actual system run for a cell, returning the
+// recorded observability data when the config enables metrics.
+func (r *Runner) simulate(key runKey) (*system.Result, *metrics.Data, error) {
 	w, ok := trace.ByName(key.workload)
 	if !ok {
-		return nil, fmt.Errorf("unknown workload %q", key.workload)
+		return nil, nil, fmt.Errorf("unknown workload %q", key.workload)
 	}
 	var dcfg *core.Config
 	if key.design == system.DesignDyLeCT {
@@ -468,7 +499,15 @@ func (r *Runner) simulate(key runKey) (*system.Result, error) {
 		c.DirectToML0 = key.directToML0
 		dcfg = &c
 	}
-	return system.RunE(system.Options{
+	var rec *metrics.Recorder
+	if r.Cfg.MetricsSamples > 0 || r.Cfg.Trace {
+		rec = metrics.New(metrics.Config{
+			Samples:  r.Cfg.MetricsSamples,
+			Trace:    r.Cfg.Trace,
+			TraceCap: r.Cfg.TraceCap,
+		})
+	}
+	res, err := system.RunE(system.Options{
 		Workload:       w,
 		Design:         key.design,
 		Setting:        key.setting,
@@ -486,7 +525,15 @@ func (r *Runner) simulate(key runKey) (*system.Result, error) {
 		Seed:           r.Cfg.Seed,
 		DyLeCT:         dcfg,
 		Audit:          r.Cfg.Audit,
+		Obs:            rec,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec == nil {
+		return res, nil, nil
+	}
+	return res, rec.Data(), nil
 }
 
 // isTransient reports whether err (or anything it wraps) marks itself

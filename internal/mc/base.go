@@ -7,6 +7,7 @@ import (
 	"dylect/internal/comp"
 	"dylect/internal/dram"
 	"dylect/internal/engine"
+	"dylect/internal/metrics"
 	"dylect/internal/stats"
 )
 
@@ -59,6 +60,11 @@ type Stats struct {
 
 	// WalkHints counts CTE blocks pre-filled by PTB embedding.
 	WalkHints stats.Counter
+
+	// CTEEvictions counts CTE-cache fills that displaced a resident block.
+	// It is a sampled-only counter: it reaches serialized output through
+	// the metrics registry (RegisterMetrics), not through system.Result.
+	CTEEvictions stats.Counter
 
 	Expansions    stats.Counter
 	Compressions  stats.Counter
@@ -123,6 +129,12 @@ type Params struct {
 	// GroupSize is the DRAM page group size G for short CTEs (3 for
 	// 2-bit entries; Figure 25 sweeps 7 and 15).
 	GroupSize uint64
+	// Obs, when non-nil, receives observation-only structured trace events
+	// (page promotions/demotions, CTE cache fill/evict, displacements) and
+	// sampled-only counter registrations. Every emission is a pure append
+	// to process memory — no engine events, no DRAM traffic — so attaching
+	// a recorder cannot change any simulated outcome.
+	Obs *metrics.Recorder
 }
 
 // withDefaults fills unset fields with Table 3 values.
@@ -209,6 +221,11 @@ type Base struct {
 	// finishes after the decompression latency). The invariant auditor
 	// skips them: mid-flight they are legitimately allocated-but-unowned.
 	reservedFrames map[uint64]struct{}
+
+	// compressCause labels trace events for the current compression: ""
+	// (= "pressure") for demand-adaptive background compression,
+	// "emergency" while EnsureFrame compresses on the critical path.
+	compressCause string
 }
 
 // NewBase lays out DRAM (data frames + reserved tables) and initializes all
@@ -295,6 +312,45 @@ func (b *Base) removeResident(frame, u uint64) {
 }
 
 func align64(x uint64) uint64 { return (x + 63) &^ 63 }
+
+// Obs returns the attached metrics recorder (nil when unobserved); the
+// recorder's methods are nil-safe, so callers emit unconditionally.
+func (b *Base) Obs() *metrics.Recorder { return b.P.Obs }
+
+// RegisterMetrics registers the translator's sampled-only counters with the
+// recorder so interval samples carry them. Exported counters (everything in
+// system.Result) are deliberately not registered twice.
+func (b *Base) RegisterMetrics(rec *metrics.Recorder) {
+	rec.RegisterCounter("mc.cteEvictions", &b.S.CTEEvictions)
+}
+
+// emitLevel records a level-transition event (promotion, demotion,
+// expansion, compression) with its policy reason.
+func (b *Base) emitLevel(name string, u uint64, from, to Level, reason string) {
+	b.P.Obs.Emit(b.Eng.Now(), metrics.Event{
+		Cat: metrics.CatLevel, Name: name, Unit: u,
+		From: from.String(), To: to.String(), Reason: reason,
+	})
+}
+
+// emitCTE records a CTE-cache fill or eviction.
+func (b *Base) emitCTE(name string, blockAddr uint64, reason string) {
+	b.P.Obs.Emit(b.Eng.Now(), metrics.Event{
+		Cat: metrics.CatCTE, Name: name, Addr: blockAddr, Reason: reason,
+	})
+}
+
+// FillCTE installs a block into the CTE cache, counting and tracing any
+// eviction it causes. All CTE-cache fills across the designs go through
+// here so the evict stream is complete.
+func (b *Base) FillCTE(blockAddr uint64, reason string) {
+	victim, _, evicted := b.CTE.Fill(blockAddr, false)
+	b.emitCTE("fill", blockAddr, reason)
+	if evicted {
+		b.S.CTEEvictions.Inc()
+		b.emitCTE("evict", victim, reason)
+	}
+}
 
 // NumUnits returns the number of translation units.
 func (b *Base) NumUnits() uint64 { return b.nUnits }
@@ -484,6 +540,7 @@ func (b *Base) CompressUnit(u uint64) {
 	b.WriteBlocks(chunk, b.chunkBlocks(class), dram.ClassMigration, true)
 	b.Rec.Remove(u)
 	wasML0 := st.level == ML0
+	from := st.level
 	b.Space.FreeFrame(frame)
 	b.ownerUnit[frame] = ownerFree
 	st.level = ML2
@@ -496,6 +553,11 @@ func (b *Base) CompressUnit(u uint64) {
 	if wasML0 {
 		b.S.Demotions.Inc()
 	}
+	cause := b.compressCause
+	if cause == "" {
+		cause = "pressure"
+	}
+	b.emitLevel("compress", u, from, ML2, cause)
 }
 
 // updateTables charges the DRAM writes for a unit's CTE table update (one
@@ -524,7 +586,9 @@ func (b *Base) EnsureFrame() (frame uint64, stall engine.Time, ok bool) {
 			b.S.PressureStuck.Inc()
 			return 0, stall, false
 		}
+		b.compressCause = "emergency"
 		b.CompressUnit(v)
+		b.compressCause = ""
 		b.S.EmergencyStalls.Inc()
 		stall += b.P.CompLatency.For(b.P.Granularity)
 	}
@@ -567,6 +631,7 @@ func (b *Base) ExpandUnit(u uint64, done func()) {
 		b.Rec.Touch(u)
 		b.updateTables(u, false)
 		b.S.Expansions.Inc()
+		b.emitLevel("expand", u, ML2, ML1, "demand")
 		// Write the decompressed page into its frame (posted).
 		b.WriteBlocks(fa, b.frameBlocks, dram.ClassMigration, true)
 		waiters := b.expandWait[u]
@@ -603,7 +668,7 @@ func (b *Base) FetchCTEBlock(blockAddr uint64, cacheIt bool, done func()) {
 	b.fetchWait[blockAddr] = nil
 	complete := func() {
 		if cacheIt {
-			b.CTE.Fill(blockAddr, false)
+			b.FillCTE(blockAddr, "demand")
 		}
 		waiters := b.fetchWait[blockAddr]
 		delete(b.fetchWait, blockAddr)

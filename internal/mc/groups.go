@@ -1,6 +1,9 @@
 package mc
 
-import "dylect/internal/dram"
+import (
+	"dylect/internal/dram"
+	"dylect/internal/metrics"
+)
 
 // DRAM page groups and short-CTE mechanics (Section IV-B). A unit's group
 // is the GroupSize consecutive frames starting at hash(u); its short CTE
@@ -58,6 +61,14 @@ func (b *Base) BumpCounter(u uint64) {
 	}
 }
 
+// emitDisplace records a space-management event: an occupant displaced to a
+// Free List frame, or a carved chunk frame vacated (n = chunks relocated).
+func (b *Base) emitDisplace(name string, u, n uint64) {
+	b.P.Obs.Emit(b.Eng.Now(), metrics.Event{
+		Cat: metrics.CatSpace, Name: name, Unit: u, N: n,
+	})
+}
+
 // moveUnitFrame relocates an uncompressed unit's data from its current
 // frame to dst (already claimed by the caller), charging migration traffic
 // and freeing the old frame.
@@ -93,6 +104,7 @@ func (b *Base) DemoteToML1(u uint64) bool {
 	st.short = uint8(b.P.GroupSize)
 	b.updateTables(u, true)
 	b.S.Demotions.Inc()
+	b.emitLevel("demote", u, ML0, ML1, "policy")
 	return true
 }
 
@@ -129,6 +141,7 @@ func (b *Base) TryPromote(u uint64, threshold uint8) bool {
 			st.short = uint8(i)
 			b.updateTables(u, true)
 			b.S.Promotions.Inc()
+			b.emitLevel("promote", u, ML1, ML0, "in-place")
 			return true
 		}
 		if b.Space.FrameIsFree(slot) {
@@ -162,12 +175,14 @@ func (b *Base) TryPromote(u uint64, threshold uint8) bool {
 	}
 
 	var slot uint64
+	var how string
 	switch {
 	case freeSlot >= 0:
 		if !b.Space.AllocSpecificFrame(uint64(freeSlot)) {
 			return false
 		}
 		slot = uint64(freeSlot)
+		how = "free-slot"
 	case chunkSlot >= 0:
 		// Migrate the compressed occupants out via their long CTEs.
 		if !b.DisplaceChunkFrame(uint64(chunkSlot)) {
@@ -180,6 +195,7 @@ func (b *Base) TryPromote(u uint64, threshold uint8) bool {
 			return false
 		}
 		slot = uint64(chunkSlot)
+		how = "chunk-displace"
 	case ml1Slot >= 0 && st.counter > ml1Cold+threshold:
 		// Displace the colder uncompressed occupant to a Free List frame
 		// (it keeps its long CTE).
@@ -197,10 +213,12 @@ func (b *Base) TryPromote(u uint64, threshold uint8) bool {
 		b.moveUnitFrame(q, dst)
 		b.updateTables(q, false)
 		b.S.Displacements.Inc()
+		b.emitDisplace("displace", q, 1)
 		if !b.Space.AllocSpecificFrame(uint64(ml1Slot)) {
 			return false
 		}
 		slot = uint64(ml1Slot)
+		how = "ml1-displace"
 	case ml0Slot >= 0 && st.counter > ml0Cold+threshold:
 		// All candidates are ML0: demote the coldest.
 		q := uint64(b.ownerUnit[ml0Slot])
@@ -214,6 +232,7 @@ func (b *Base) TryPromote(u uint64, threshold uint8) bool {
 			return false
 		}
 		slot = uint64(ml0Slot)
+		how = "ml0-demote"
 	default:
 		return false
 	}
@@ -223,6 +242,7 @@ func (b *Base) TryPromote(u uint64, threshold uint8) bool {
 	st.short = uint8(slot - base)
 	b.updateTables(u, true)
 	b.S.Promotions.Inc()
+	b.emitLevel("promote", u, ML1, ML0, how)
 	return true
 }
 
@@ -247,6 +267,7 @@ func (b *Base) DisplaceChunkFrame(frame uint64) bool {
 	// back into the frame being vacated.
 	b.Space.EvictFrameChunks(frame)
 	res := append([]uint64(nil), b.residents[frame]...)
+	var moved uint64
 	for _, q := range res {
 		st := &b.units[q]
 		if st.level != ML2 || b.Space.FrameOf(st.addr) != frame {
@@ -268,10 +289,15 @@ func (b *Base) DisplaceChunkFrame(frame uint64) bool {
 		st.addr = dst
 		b.addResident(b.Space.FrameOf(dst), q)
 		b.updateTables(q, false)
+		moved++
 	}
 	b.Space.FreeFrame(frame)
 	b.ownerUnit[frame] = ownerFree
 	b.S.Displacements.Inc()
+	b.P.Obs.Emit(b.Eng.Now(), metrics.Event{
+		Cat: metrics.CatSpace, Name: "chunk-displace",
+		Addr: b.Space.FrameAddr(frame), N: moved,
+	})
 	return true
 }
 
@@ -284,6 +310,7 @@ func (b *Base) MoveToSlot(u, slot uint64) {
 	st.short = uint8(slot - b.GroupBase(u))
 	b.updateTables(u, true)
 	b.S.Promotions.Inc()
+	b.emitLevel("promote", u, ML1, ML0, "slot-claim")
 }
 
 // DisplaceAndClaim evicts the data-frame occupant of slot to a Free List
@@ -313,10 +340,12 @@ func (b *Base) DisplaceAndClaim(u, slot uint64) bool {
 		b.units[q].short = uint8(b.P.GroupSize)
 		b.updateTables(q, true)
 		b.S.Demotions.Inc()
+		b.emitLevel("demote", q, ML0, ML1, "displaced")
 	} else {
 		b.updateTables(q, false)
 	}
 	b.S.Displacements.Inc()
+	b.emitDisplace("displace", q, 1)
 	if !b.Space.AllocSpecificFrame(slot) {
 		return false
 	}

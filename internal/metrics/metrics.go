@@ -1,0 +1,268 @@
+// Package metrics is the simulator's deterministic, observation-only
+// instrumentation bus. It plays the role of gem5's stats-dump / trace
+// infrastructure for this reproduction: components record time-resolved
+// samples and structured events into an in-memory Recorder that the harness
+// exports as NDJSON (interval series) and Chrome trace-event JSON (loadable
+// in Perfetto).
+//
+// The headline property is that observation cannot change any simulated
+// outcome:
+//
+//   - every Recorder method is a pure append to process memory — nothing is
+//     scheduled on the event engine and no DRAM traffic is charged;
+//   - the interval sampler runs on the engine's observation queue
+//     (engine.ObserveAt), which is structurally separate from the event heap
+//     and therefore cannot perturb FIFO ties between simulation events;
+//   - the event ring buffer is hard-capped, so tracing never unbounds
+//     memory: beyond the cap the oldest events are dropped and counted.
+//
+// system.RunE arms the Recorder at the warmup/measurement boundary; events
+// emitted during functional warmup (where simulated time stands still and
+// the initial compress-and-pack would flood the ring) are discarded.
+package metrics
+
+import (
+	"dylect/internal/engine"
+	"dylect/internal/stats"
+)
+
+// DefaultTraceCap bounds the event ring buffer per Recorder.
+const DefaultTraceCap = 1 << 16
+
+// Config selects what a Recorder records.
+type Config struct {
+	// Samples is the number of evenly spaced interval samples across the
+	// timed window (engine-time driven, never wall-clock). 0 disables
+	// sampling.
+	Samples int
+	// Trace enables structured event recording.
+	Trace bool
+	// TraceCap overrides the event ring capacity (DefaultTraceCap when 0).
+	TraceCap int
+}
+
+// Sample is one interval snapshot of the whole system, taken at an evenly
+// spaced point inside the timed window. All quantities are cumulative since
+// the warmup boundary; downstream consumers difference adjacent samples for
+// interval rates.
+type Sample struct {
+	Index int `json:"i"`
+	// TimePS is the offset from the window start, in picoseconds.
+	TimePS uint64 `json:"tPS"`
+
+	IPC   float64 `json:"ipc"`
+	Insts uint64  `json:"instructions"`
+
+	CTEHitRate      float64 `json:"cteHitRate"`
+	PreGatheredRate float64 `json:"preGatheredRate"`
+	UnifiedRate     float64 `json:"unifiedRate"`
+
+	ML0 uint64 `json:"ml0Pages"`
+	ML1 uint64 `json:"ml1Pages"`
+	ML2 uint64 `json:"ml2Pages"`
+
+	ML0Bytes  uint64 `json:"ml0Bytes"`
+	ML1Bytes  uint64 `json:"ml1Bytes"`
+	ML2Bytes  uint64 `json:"ml2Bytes"`
+	FreeBytes uint64 `json:"freeBytes"`
+
+	DemandBytes    uint64  `json:"demandBytes"`
+	MigrationBytes uint64  `json:"migrationBytes"`
+	CTEBytes       uint64  `json:"cteBytes"`
+	WalkBytes      uint64  `json:"walkBytes"`
+	BusUtilization float64 `json:"busUtilization"`
+
+	// Counters snapshots every counter registered with the Recorder
+	// (RegisterCounter), keyed by registration name. encoding/json sorts
+	// map keys, so serialization is deterministic.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Event is one structured trace event. The fixed fields keep serialization
+// deterministic and compact; unused fields are omitted.
+type Event struct {
+	// TimePS is the offset from the window start, in picoseconds.
+	TimePS uint64 `json:"tPS"`
+	// Cat groups events onto Perfetto tracks: "level" (promotion /
+	// demotion / expansion / compression), "cte" (CTE cache fill / evict),
+	// "space" (group displacement, chunk relocation), "audit", "fault".
+	Cat string `json:"cat"`
+	// Name is the event kind within its category.
+	Name string `json:"name"`
+	// Unit is the translation unit involved, when meaningful.
+	Unit uint64 `json:"unit,omitempty"`
+	// From and To are memory levels for level-transition events.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Reason says why the transition happened (policy path).
+	Reason string `json:"reason,omitempty"`
+	// Addr is a machine byte address (CTE block, frame) when meaningful.
+	Addr uint64 `json:"addr,omitempty"`
+	// N counts sub-operations folded into one event (e.g. chunks moved by
+	// one group displacement).
+	N uint64 `json:"n,omitempty"`
+}
+
+// Event categories.
+const (
+	CatLevel = "level"
+	CatCTE   = "cte"
+	CatSpace = "space"
+	CatAudit = "audit"
+	CatFault = "fault"
+)
+
+// namedCounter is one registry entry.
+type namedCounter struct {
+	name string
+	c    *stats.Counter
+}
+
+// Data is a Recorder's complete recorded output — the unit of per-cell
+// persistence (checkpoint sidecars) and export.
+type Data struct {
+	Samples []Sample `json:"samples,omitempty"`
+	Events  []Event  `json:"events,omitempty"`
+	// Dropped counts events discarded by the ring cap (oldest-first).
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// Recorder accumulates one simulation's observability data. A nil *Recorder
+// is valid and records nothing, so instrumented components need no
+// enabled-checks at call sites. Recorders are single-goroutine, like the
+// simulation they observe.
+type Recorder struct {
+	cfg   Config
+	armed bool
+	start engine.Time
+
+	samples  []Sample
+	events   []Event // ring once full
+	head     int     // ring start when len(events) == cap
+	dropped  uint64
+	counters []namedCounter
+}
+
+// New builds a Recorder. It starts disarmed: events are discarded until
+// Arm, so functional warmup cannot flood the ring.
+func New(cfg Config) *Recorder {
+	if cfg.TraceCap <= 0 {
+		cfg.TraceCap = DefaultTraceCap
+	}
+	return &Recorder{cfg: cfg}
+}
+
+// Config returns the recorder's configuration (zero value when nil).
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}
+	}
+	return r.cfg
+}
+
+// Sampling reports whether interval sampling is requested.
+func (r *Recorder) Sampling() bool { return r != nil && r.cfg.Samples > 0 }
+
+// Tracing reports whether event tracing is enabled and armed.
+func (r *Recorder) Tracing() bool { return r != nil && r.cfg.Trace && r.armed }
+
+// Arm marks the start of the timed window: subsequent event and sample
+// timestamps are relative to start, and tracing begins.
+func (r *Recorder) Arm(start engine.Time) {
+	if r == nil {
+		return
+	}
+	r.armed = true
+	r.start = start
+}
+
+// RegisterCounter adds a counter to the sampling registry: every interval
+// sample snapshots its Value under the given name. Registration is how
+// sampled-only counters reach serialized output without appearing in
+// system.Result (the statcheck analyzer recognizes registry calls as
+// reads). Duplicate names keep the last registration.
+func (r *Recorder) RegisterCounter(name string, c *stats.Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	for i := range r.counters {
+		if r.counters[i].name == name {
+			r.counters[i].c = c
+			return
+		}
+	}
+	r.counters = append(r.counters, namedCounter{name: name, c: c})
+}
+
+// AddSample records one interval snapshot, filling in the registry
+// counters. now is the absolute engine time of the observation.
+func (r *Recorder) AddSample(now engine.Time, s Sample) {
+	if r == nil || !r.armed {
+		return
+	}
+	s.Index = len(r.samples)
+	s.TimePS = uint64(now - r.start)
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for _, nc := range r.counters {
+			s.Counters[nc.name] = nc.c.Value()
+		}
+	}
+	r.samples = append(r.samples, s)
+}
+
+// Emit records one structured event at the given absolute engine time.
+// Disarmed or untraced recorders (and nil) discard it; a full ring drops
+// the oldest event and counts the drop.
+func (r *Recorder) Emit(now engine.Time, e Event) {
+	if r == nil || !r.armed || !r.cfg.Trace {
+		return
+	}
+	if now >= r.start {
+		e.TimePS = uint64(now - r.start)
+	}
+	if len(r.events) < r.cfg.TraceCap {
+		r.events = append(r.events, e)
+		return
+	}
+	// Ring: overwrite the oldest.
+	r.events[r.head] = e
+	r.head = (r.head + 1) % len(r.events)
+	r.dropped++
+}
+
+// Data returns everything recorded, events in chronological order. The
+// returned slices alias the recorder's storage only after the ring has been
+// linearized, so callers may retain them; the recorder should not be reused
+// afterwards.
+func (r *Recorder) Data() *Data {
+	if r == nil {
+		return &Data{}
+	}
+	events := r.events
+	if r.head > 0 {
+		lin := make([]Event, 0, len(r.events))
+		lin = append(lin, r.events[r.head:]...)
+		lin = append(lin, r.events[:r.head]...)
+		events = lin
+	}
+	return &Data{Samples: r.samples, Events: events, Dropped: r.dropped}
+}
+
+// SamplePoints returns the n engine times of the evenly spaced interval
+// sample points inside [start, start+window]: start + window*k/n for
+// k = 1..n. All arithmetic is integral (picoseconds), so the points are
+// exact and reproducible.
+func SamplePoints(start, window engine.Time, n int) []engine.Time {
+	if n <= 0 {
+		return nil
+	}
+	pts := make([]engine.Time, n)
+	for k := 1; k <= n; k++ {
+		pts[k-1] = start + window/engine.Time(n)*engine.Time(k)
+	}
+	// Integer division can leave the last point short of the window end;
+	// pin it so the final sample always sees the full window.
+	pts[n-1] = start + window
+	return pts
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dylect/internal/engine"
+	"dylect/internal/stats"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Arm(0)
+	r.AddSample(10, Sample{})
+	r.Emit(10, Event{Cat: CatLevel, Name: "promote"})
+	var c stats.Counter
+	r.RegisterCounter("x", &c)
+	if r.Sampling() || r.Tracing() {
+		t.Fatal("nil recorder claims to be active")
+	}
+	d := r.Data()
+	if len(d.Samples) != 0 || len(d.Events) != 0 || d.Dropped != 0 {
+		t.Fatalf("nil recorder returned data: %+v", d)
+	}
+}
+
+func TestDisarmedRecorderDiscards(t *testing.T) {
+	r := New(Config{Samples: 4, Trace: true})
+	r.Emit(10, Event{Cat: CatLevel, Name: "warmup-noise"})
+	r.AddSample(10, Sample{IPC: 1})
+	r.Arm(100)
+	r.Emit(150, Event{Cat: CatLevel, Name: "real"})
+	d := r.Data()
+	if len(d.Samples) != 0 {
+		t.Fatalf("pre-arm sample recorded: %+v", d.Samples)
+	}
+	if len(d.Events) != 1 || d.Events[0].Name != "real" {
+		t.Fatalf("events = %+v, want only the post-arm one", d.Events)
+	}
+	if d.Events[0].TimePS != 50 {
+		t.Fatalf("event time = %d, want 50 (relative to arm)", d.Events[0].TimePS)
+	}
+}
+
+func TestSampleIndexTimeAndCounters(t *testing.T) {
+	r := New(Config{Samples: 2})
+	var c stats.Counter
+	r.RegisterCounter("mc.cteEvictions", &c)
+	r.Arm(1000)
+	c.Add(3)
+	r.AddSample(1500, Sample{IPC: 0.5})
+	c.Add(2)
+	r.AddSample(2000, Sample{IPC: 0.75})
+	d := r.Data()
+	if len(d.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(d.Samples))
+	}
+	s0, s1 := d.Samples[0], d.Samples[1]
+	if s0.Index != 0 || s1.Index != 1 {
+		t.Fatalf("indices = %d,%d", s0.Index, s1.Index)
+	}
+	if s0.TimePS != 500 || s1.TimePS != 1000 {
+		t.Fatalf("times = %d,%d, want 500,1000", s0.TimePS, s1.TimePS)
+	}
+	if s0.Counters["mc.cteEvictions"] != 3 || s1.Counters["mc.cteEvictions"] != 5 {
+		t.Fatalf("counter snapshots = %v,%v", s0.Counters, s1.Counters)
+	}
+}
+
+func TestRegisterCounterDedup(t *testing.T) {
+	r := New(Config{Samples: 1})
+	var a, b stats.Counter
+	a.Add(1)
+	b.Add(9)
+	r.RegisterCounter("x", &a)
+	r.RegisterCounter("x", &b) // last registration wins
+	r.Arm(0)
+	r.AddSample(10, Sample{})
+	if got := r.Data().Samples[0].Counters["x"]; got != 9 {
+		t.Fatalf("counter x = %d, want 9 (last registration)", got)
+	}
+}
+
+func TestEventRingCapAndDrop(t *testing.T) {
+	r := New(Config{Trace: true, TraceCap: 4})
+	r.Arm(0)
+	for i := 0; i < 7; i++ {
+		r.Emit(engine.Time(i), Event{Cat: CatLevel, Name: "e", Unit: uint64(i)})
+	}
+	d := r.Data()
+	if d.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", d.Dropped)
+	}
+	if len(d.Events) != 4 {
+		t.Fatalf("events = %d, want 4 (the cap)", len(d.Events))
+	}
+	// Oldest dropped: survivors are units 3..6 in chronological order.
+	for i, e := range d.Events {
+		if e.Unit != uint64(i+3) {
+			t.Fatalf("event %d has unit %d, want %d (ring not linearized)", i, e.Unit, i+3)
+		}
+	}
+}
+
+func TestSamplePoints(t *testing.T) {
+	pts := SamplePoints(1000, 999, 4)
+	if len(pts) != 4 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("points not strictly increasing: %v", pts)
+		}
+	}
+	if pts[3] != 1999 {
+		t.Fatalf("last point = %d, want window end 1999", pts[3])
+	}
+	if SamplePoints(0, 100, 0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestBuildTraceValidChromeJSON(t *testing.T) {
+	r := New(Config{Samples: 1, Trace: true})
+	r.Arm(0)
+	r.Emit(engine.Microsecond, Event{Cat: CatLevel, Name: "promote", Unit: 7, From: "ML1", To: "ML0", Reason: "free-slot"})
+	r.Emit(2*engine.Microsecond, Event{Cat: CatCTE, Name: "evict", Addr: 0x1000})
+	r.AddSample(3*engine.Microsecond, Sample{IPC: 1.5, ML0Bytes: 4096})
+	b, err := MarshalTrace([]CellTrace{{Name: "bfs/dylect/low", Data: r.Data()}})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, counters, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "C":
+			counters++
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.Pid != 1 {
+			t.Fatalf("pid = %d, want 1", e.Pid)
+		}
+	}
+	if meta == 0 || counters == 0 || instants != 2 {
+		t.Fatalf("meta=%d counters=%d instants=%d", meta, counters, instants)
+	}
+}
+
+func TestDataJSONRoundTrip(t *testing.T) {
+	r := New(Config{Samples: 1, Trace: true})
+	r.Arm(0)
+	r.Emit(5, Event{Cat: CatSpace, Name: "chunk-displace", Addr: 0x40, N: 3})
+	r.AddSample(10, Sample{IPC: 2, FreeBytes: 1 << 20})
+	b, err := json.Marshal(r.Data())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var d Data
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(d.Samples) != 1 || len(d.Events) != 1 || d.Events[0].N != 3 {
+		t.Fatalf("round trip lost data: %+v", d)
+	}
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -29,15 +30,24 @@ func (b *BarChart) Add(label string, value float64) {
 	b.values = append(b.values, value)
 }
 
-// String renders the chart.
+// isFinite reports whether v is an ordinary number (not NaN or ±Inf).
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// String renders the chart. Non-finite values (NaN, ±Inf — e.g. a rate over
+// an empty denominator) render as empty bars with the raw value printed, and
+// never poison the auto-scaled axis; an all-zero chart renders every bar at
+// zero length rather than dividing by zero.
 func (b *BarChart) String() string {
 	if len(b.values) == 0 {
 		return b.Title + "\n(no data)\n"
 	}
 	max := b.Max
-	if max <= 0 {
+	if !isFinite(max) || max <= 0 {
+		max = 0
 		for _, v := range b.values {
-			if v > max {
+			if isFinite(v) && v > max {
 				max = v
 			}
 		}
@@ -62,12 +72,13 @@ func (b *BarChart) String() string {
 	}
 	for i, l := range b.labels {
 		v := b.values[i]
-		n := int(v / max * float64(width))
-		if n > width {
-			n = width
-		}
-		if n < 0 {
-			n = 0
+		n := 0
+		if isFinite(v) && v > 0 {
+			// Guarded: converting NaN/±Inf to int is implementation-defined.
+			n = int(v / max * float64(width))
+			if n > width {
+				n = width
+			}
 		}
 		fmt.Fprintf(&sb, "%-*s |%s%s %.3g\n", labelW, l,
 			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -56,5 +57,69 @@ func TestBarChartEdgeCases(t *testing.T) {
 	c.Add("big", 100)
 	if strings.Count(c.String(), "#") != 40 {
 		t.Fatal("overflowing bar must clamp to width")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	// Every value zero: auto-scale must not divide by zero, every bar
+	// renders at zero length, and no NaN leaks into the output.
+	b := NewBarChart("idle")
+	b.Add("a", 0)
+	b.Add("b", 0)
+	b.Add("c", 0)
+	s := b.String()
+	if strings.Count(s, "#") != 0 {
+		t.Fatalf("all-zero chart must render empty bars:\n%s", s)
+	}
+	if strings.Contains(s, "NaN") {
+		t.Fatalf("all-zero chart leaked NaN:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want title + 3 bars, got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestBarChartNonFiniteValues(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	// NaN/±Inf values render as empty bars and must not poison the
+	// auto-scaled axis for their finite siblings.
+	b := NewBarChart("rates")
+	b.Add("nan", nan)
+	b.Add("inf", inf)
+	b.Add("ninf", math.Inf(-1))
+	b.Add("ok", 2.0)
+	s := b.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want title + 4 bars, got %d lines:\n%s", len(lines), s)
+	}
+	for _, l := range lines[1:4] {
+		if strings.Count(l, "#") != 0 {
+			t.Fatalf("non-finite value rendered a bar:\n%s", s)
+		}
+	}
+	// The finite value is the axis max, so its bar fills the width.
+	if got := strings.Count(lines[4], "#"); got != 40 {
+		t.Fatalf("finite sibling should own the axis (40 hashes), got %d:\n%s", got, s)
+	}
+	// The raw values still print, so a reader sees what happened.
+	if !strings.Contains(s, "NaN") || !strings.Contains(s, "Inf") {
+		t.Fatalf("raw non-finite values should still print:\n%s", s)
+	}
+}
+
+func TestBarChartNonFiniteMax(t *testing.T) {
+	// A non-finite explicit Max falls back to auto-scale.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := NewBarChart("")
+		b.Max = bad
+		b.Width = 20
+		b.Add("v", 3)
+		if got := strings.Count(b.String(), "#"); got != 20 {
+			t.Fatalf("Max=%v: auto-scale fallback should fill width, got %d hashes", bad, got)
+		}
 	}
 }

@@ -1,0 +1,73 @@
+package system
+
+import (
+	"dylect/internal/dram"
+	"dylect/internal/engine"
+	"dylect/internal/metrics"
+)
+
+// metricsRegistrar is implemented by translators that expose sampled-only
+// counters through the metrics registry (mc.Base.RegisterMetrics).
+type metricsRegistrar interface {
+	RegisterMetrics(*metrics.Recorder)
+}
+
+// levelReporter is the level/occupancy introspection surface the compressed
+// designs share (the same assertion collect uses for end-of-run numbers).
+type levelReporter interface {
+	LevelCounts() (uint64, uint64, uint64)
+	SpaceUsage() (uint64, uint64, uint64, uint64)
+}
+
+// attachObservability arms the recorder at the warmup/measurement boundary
+// and schedules the interval sampler on the engine's observation queue.
+// Observation callbacks are read-only by engine contract (scheduling from
+// one panics), so an attached recorder cannot perturb the simulation: the
+// event heap, its seq tie-breakers, and all DRAM traffic are untouched
+// whether or not metrics are recorded.
+func attachObservability(s *System, rec *metrics.Recorder, window engine.Time) {
+	if rec == nil {
+		return
+	}
+	base := s.Eng.Now()
+	rec.Arm(base)
+	if mr, ok := s.Trans.(metricsRegistrar); ok {
+		mr.RegisterMetrics(rec)
+	}
+	if !rec.Sampling() {
+		return
+	}
+	for _, at := range metrics.SamplePoints(base, window, rec.Config().Samples) {
+		s.Eng.ObserveAt(at, func() {
+			rec.AddSample(s.Eng.Now(), s.snapshotSample(base))
+		})
+	}
+}
+
+// snapshotSample captures one interval sample of the whole system. All
+// quantities are cumulative since the warmup boundary (base); rates use the
+// elapsed window so far.
+func (s *System) snapshotSample(base engine.Time) metrics.Sample {
+	elapsed := s.Eng.Now() - base
+	ts := s.Trans.Stats()
+	ds := s.DRAM.Stats()
+	smp := metrics.Sample{
+		IPC:            s.IPC(elapsed),
+		Insts:          s.Insts(),
+		CTEHitRate:     ts.HitRate(),
+		DemandBytes:    ds.ClassBytes(dram.ClassDemand),
+		MigrationBytes: ds.ClassBytes(dram.ClassMigration),
+		CTEBytes:       ds.ClassBytes(dram.ClassCTE),
+		WalkBytes:      ds.ClassBytes(dram.ClassWalk),
+		BusUtilization: ds.Utilization(elapsed),
+	}
+	if req := ts.Requests.Value(); req > 0 {
+		smp.PreGatheredRate = float64(ts.PreGatheredHits.Value()) / float64(req)
+		smp.UnifiedRate = float64(ts.UnifiedHits.Value()) / float64(req)
+	}
+	if b, ok := s.Trans.(levelReporter); ok {
+		smp.ML0, smp.ML1, smp.ML2 = b.LevelCounts()
+		smp.ML0Bytes, smp.ML1Bytes, smp.ML2Bytes, smp.FreeBytes = b.SpaceUsage()
+	}
+	return smp
+}

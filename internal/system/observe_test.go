@@ -1,0 +1,115 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dylect/internal/metrics"
+)
+
+func marshalData(t *testing.T, d *metrics.Data) []byte {
+	t.Helper()
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatalf("marshal metrics data: %v", err)
+	}
+	return b
+}
+
+// The tentpole property of the metrics subsystem: attaching a recorder —
+// sampling, tracing, or both — must leave the serialized Result
+// byte-identical to an unobserved run. Options.Obs is json-excluded, so
+// marshaling compares only simulated outcomes.
+
+func TestObservabilityDoesNotChangeResult(t *testing.T) {
+	for _, design := range []Design{DesignDyLeCT, DesignTMCC, DesignNaive} {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			t.Parallel()
+			opts := determinismOpts(t, design, SettingLow, 42)
+			plain := marshalResult(t, Run(opts))
+
+			rec := metrics.New(metrics.Config{Samples: 16, Trace: true})
+			opts.Obs = rec
+			observed := marshalResult(t, Run(opts))
+			if !bytes.Equal(plain, observed) {
+				t.Errorf("attaching a recorder changed the result\noff: %s\non:  %s",
+					plain, observed)
+			}
+
+			d := rec.Data()
+			if len(d.Samples) != 16 {
+				t.Fatalf("samples = %d, want 16", len(d.Samples))
+			}
+			last := d.Samples[len(d.Samples)-1]
+			if last.TimePS != uint64(opts.Window) {
+				t.Errorf("last sample at %dps, want the window end %dps",
+					last.TimePS, uint64(opts.Window))
+			}
+			if last.Insts == 0 || last.IPC == 0 {
+				t.Errorf("final sample has no progress: %+v", last)
+			}
+			if design != DesignNoComp && len(d.Events) == 0 {
+				t.Error("tracing enabled but no events recorded")
+			}
+		})
+	}
+}
+
+func TestObservabilityWithAuditEmitsAuditEvents(t *testing.T) {
+	opts := determinismOpts(t, DesignDyLeCT, SettingLow, 42)
+	opts.Audit = true
+	rec := metrics.New(metrics.Config{Trace: true})
+	opts.Obs = rec
+	if _, err := RunE(opts); err != nil {
+		t.Fatalf("audited run failed: %v", err)
+	}
+	var passes int
+	for _, e := range rec.Data().Events {
+		if e.Cat == metrics.CatAudit && e.Name == "pass" {
+			passes++
+		}
+	}
+	// post-warmup + three quarter-points + end-of-run.
+	if passes != 5 {
+		t.Fatalf("audit pass events = %d, want 5", passes)
+	}
+}
+
+func TestObservabilitySeriesReproducible(t *testing.T) {
+	run := func() *metrics.Data {
+		opts := determinismOpts(t, DesignDyLeCT, SettingLow, 42)
+		rec := metrics.New(metrics.Config{Samples: 8, Trace: true})
+		opts.Obs = rec
+		Run(opts)
+		return rec.Data()
+	}
+	a, b := run(), run()
+	ja := marshalData(t, a)
+	jb := marshalData(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("two identically configured runs recorded different series\nfirst:  %s\nsecond: %s",
+			ja, jb)
+	}
+	if len(a.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+func TestSampledOnlyCountersAppearInSamples(t *testing.T) {
+	opts := determinismOpts(t, DesignTMCC, SettingLow, 42)
+	rec := metrics.New(metrics.Config{Samples: 4})
+	opts.Obs = rec
+	Run(opts)
+	d := rec.Data()
+	if len(d.Samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(d.Samples))
+	}
+	for _, s := range d.Samples {
+		if _, ok := s.Counters["mc.cteEvictions"]; !ok {
+			t.Fatalf("sample %d missing registered counter mc.cteEvictions: %v",
+				s.Index, s.Counters)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"dylect/internal/faults"
 	"dylect/internal/invariant"
 	"dylect/internal/mc"
+	"dylect/internal/metrics"
 	"dylect/internal/naive"
 	"dylect/internal/tlb"
 	"dylect/internal/tmcc"
@@ -117,6 +118,14 @@ type Options struct {
 	// Faults, when non-nil, schedules the plan's deterministic MC-state
 	// corruptions inside the timed window (tests and CI smoke only).
 	Faults *faults.Plan
+
+	// Obs, when non-nil, receives the run's observability data: interval
+	// samples (scheduled on the engine's read-only observation queue) and
+	// structured trace events. Attaching a recorder cannot change the
+	// Result — observe_test.go proves the export bytes are identical with
+	// it on and off. Excluded from serialized configuration: recorders are
+	// per-run in-memory state, not experiment identity.
+	Obs *metrics.Recorder `json:"-"`
 }
 
 // Result carries everything the figures need from one run.
@@ -286,6 +295,7 @@ func RunE(opts Options) (*Result, error) {
 		PerfectCTE:      opts.PerfectCTE,
 		EmbedPTB:        opts.EmbedPTB,
 		FreeTargetBytes: freeTarget,
+		Obs:             opts.Obs,
 	}
 	switch opts.Design {
 	case DesignNoComp:
@@ -316,6 +326,7 @@ func RunE(opts Options) (*Result, error) {
 	if window == 0 {
 		window = 300 * engine.Microsecond
 	}
+	attachObservability(s, opts.Obs, window)
 
 	// The auditor records only the first failing walk: later audits of an
 	// already-corrupt controller would bury the root cause under cascading
@@ -332,7 +343,15 @@ func RunE(opts Options) (*Result, error) {
 		}
 		if vs := a.AuditInvariants(); len(vs) > 0 {
 			auditErr = &invariant.Error{Phase: phase, Violations: vs}
+			opts.Obs.Emit(eng.Now(), metrics.Event{
+				Cat: metrics.CatAudit, Name: "violation",
+				Reason: phase, N: uint64(len(vs)),
+			})
+			return
 		}
+		opts.Obs.Emit(eng.Now(), metrics.Event{
+			Cat: metrics.CatAudit, Name: "pass", Reason: phase,
+		})
 	}
 	if opts.Audit {
 		if audit("post-warmup"); auditErr != nil {
@@ -344,7 +363,7 @@ func RunE(opts Options) (*Result, error) {
 			eng.ScheduleAt(base+window*engine.Time(k)/4, func() { audit(phase) })
 		}
 	}
-	scheduleFaults(eng, window, tr, opts.Faults)
+	scheduleFaults(eng, window, tr, opts.Faults, opts.Obs)
 
 	s.Run(window)
 	if opts.Audit {
@@ -362,13 +381,19 @@ func RunE(opts Options) (*Result, error) {
 // fixed cadence); the rest fire at their AtFrac position inside the window.
 // Injection order is deterministic: the engine is single-threaded and FIFO at
 // equal timestamps.
-func scheduleFaults(eng *engine.Engine, window engine.Time, tr mc.Translator, plan *faults.Plan) {
+func scheduleFaults(eng *engine.Engine, window engine.Time, tr mc.Translator, plan *faults.Plan, obs *metrics.Recorder) {
 	if plan == nil {
 		return
 	}
 	tgt, ok := tr.(faults.Target)
 	if !ok {
 		return // e.g. the no-compression baseline has no MC state to corrupt
+	}
+	apply := func(op faults.Op) {
+		plan.Apply(tgt, op)
+		obs.Emit(eng.Now(), metrics.Event{
+			Cat: metrics.CatFault, Name: op.Class.String(), Unit: op.Unit,
+		})
 	}
 	base := eng.Now()
 	for _, op := range plan.Ops {
@@ -381,7 +406,7 @@ func scheduleFaults(eng *engine.Engine, window engine.Time, tr mc.Translator, pl
 			var probe func()
 			probe = func() {
 				if eng.Executed() >= op.Events {
-					plan.Apply(tgt, op)
+					apply(op)
 					return
 				}
 				eng.Schedule(poll, probe)
@@ -398,7 +423,7 @@ func scheduleFaults(eng *engine.Engine, window engine.Time, tr mc.Translator, pl
 		// Quantize the fraction to 1/4096ths of the window so the offset is
 		// composed in integer picoseconds (no floating-point duration math).
 		steps := int64(frac * 4096)
-		eng.ScheduleAt(base+window/4096*engine.Time(steps), func() { plan.Apply(tgt, op) })
+		eng.ScheduleAt(base+window/4096*engine.Time(steps), func() { apply(op) })
 	}
 }
 

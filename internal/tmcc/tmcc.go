@@ -104,7 +104,7 @@ func (c *Controller) WalkHint(addr uint64) {
 	}
 	blk := c.UnifiedBlockAddr(c.UnitOf(addr))
 	if !c.CTE.Probe(blk) {
-		c.CTE.Fill(blk, false)
+		c.FillCTE(blk, "ptb-embed")
 		c.S.WalkHints.Inc()
 	}
 }

@@ -11,6 +11,9 @@
 #   faults   fault-injection smoke: seeded mid-run corruptions of every
 #            class must be caught by the invariant auditor, and scripted
 #            cell panics/hangs/transients must be contained by the pool
+#   obs      observability smoke: an audited fig18 cell set run with
+#            -metrics-out/-trace-out, artifacts schema-checked with
+#            dylect-plot -validate-only (OBS_DIR keeps the artifacts)
 #   fuzz     10s smoke per fuzz target in ./internal/comp
 #
 # Run a subset with e.g. `scripts/check.sh build lint`. No arguments runs
@@ -20,13 +23,13 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race golden faults fuzz)
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race golden faults obs fuzz)
 
 for s in "${steps[@]}"; do
 	case "$s" in
-	build | vet | lint | race | golden | faults | fuzz) ;;
+	build | vet | lint | race | golden | faults | obs | fuzz) ;;
 	*)
-		echo "unknown step '$s' (want: build vet lint race golden faults fuzz)" >&2
+		echo "unknown step '$s' (want: build vet lint race golden faults obs fuzz)" >&2
 		exit 2
 		;;
 	esac
@@ -72,6 +75,21 @@ if want faults; then
 	# panic capture, graceful drain, checkpoint resume).
 	go test -count=1 ./internal/faults
 	go test -count=1 -run 'TestWatchdog|TestTransient|TestDeterministicFailureNotRetried|TestGracefulDrain|TestCheckpoint|TestScaledAwayFootprintError' ./internal/harness
+fi
+
+if want obs; then
+	echo "== observability smoke (audited fig18 cells + schema check)"
+	# OBS_DIR keeps the artifacts (CI uploads them); default is ephemeral.
+	obs_dir="${OBS_DIR:-$(mktemp -d)}"
+	mkdir -p "$obs_dir"
+	go run ./cmd/dylectsim -exp fig18 -workloads omnetpp -scale 32 \
+		-warmup 5000 -window 5 -audit \
+		-metrics-out "$obs_dir/metrics.ndjson" \
+		-trace-out "$obs_dir/trace.json" \
+		-profile-out "$obs_dir/profile.json" >/dev/null
+	go run ./cmd/dylect-plot -metrics "$obs_dir/metrics.ndjson" \
+		-trace "$obs_dir/trace.json" -validate-only
+	[ -n "${OBS_DIR:-}" ] || rm -rf "$obs_dir"
 fi
 
 if want fuzz; then
