@@ -1,0 +1,190 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"dylect/internal/engine"
+	"dylect/internal/harness"
+	"dylect/internal/serve"
+)
+
+// serverCLI runs the service until ctx is canceled, then drains and exits.
+// It returns a process exit code; main stays a thin shell so the whole
+// command is testable.
+func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("dylect-served", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8344", "listen address (host:port; :0 picks a port)")
+		quick     = fs.Bool("quick", false, "fast config: 4 workloads, shorter windows")
+		workloads = fs.String("workloads", "", "comma-separated workload subset")
+		scale     = fs.Uint64("scale", 0, "footprint scale divisor override")
+		warmup    = fs.Uint64("warmup", 0, "warmup accesses per core override")
+		windowUS  = fs.Uint64("window", 0, "timed window in microseconds override")
+		seed      = fs.Int64("seed", 0, "workload generator seed")
+		audit     = fs.Bool("audit", false, "walk translator-state invariants during every run")
+		jobs      = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+
+		cellTO  = fs.Duration("cell-timeout", 2*time.Minute, "per-cell watchdog (0 = off)")
+		retries = fs.Int("retries", 2, "retry a cell's transient failures up to this many times")
+		backoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between cell retries")
+
+		maxCost   = fs.Int("max-cost", 0, "admission: concurrent fresh-simulation budget (0 = default)")
+		maxQueue  = fs.Int("max-queue", 0, "admission: queued requests before shedding (0 = default)")
+		perClient = fs.Int("per-client", 0, "admission: per-client in-system request cap (0 = default)")
+
+		brkThreshold = fs.Int("breaker-threshold", 3, "consecutive hard cell failures that open a (workload, design) class")
+		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "initial breaker cooldown (doubles per failed probe)")
+
+		memLimitMB = fs.Int64("mem-limit", 0, "soft memory limit in MiB: sets the runtime limit and arms pressure degradation (0 = off)")
+
+		defaultTO  = fs.Duration("default-timeout", 2*time.Minute, "request deadline when the request names none")
+		maxTO      = fs.Duration("max-timeout", 10*time.Minute, "largest request deadline honored")
+		drainGrace = fs.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight requests before abandoning their waits")
+
+		metricsSamples = fs.Int("metrics-samples", 0, "interval samples per cell (shed to 0 under memory pressure)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := harness.Full()
+	if *quick {
+		cfg = harness.Quick()
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	if *scale != 0 {
+		cfg.ScaleDivisor = *scale
+	}
+	if *warmup != 0 {
+		cfg.WarmupAccesses = *warmup
+	}
+	if *windowUS != 0 {
+		cfg.Window = engine.Time(*windowUS) * engine.Microsecond
+	}
+	cfg.Seed = *seed
+	cfg.Audit = *audit
+	cfg.MetricsSamples = *metricsSamples
+
+	srv := serve.New(serve.Options{
+		Config:         cfg,
+		Jobs:           *jobs,
+		CellTimeout:    *cellTO,
+		Retries:        *retries,
+		RetryBackoff:   *backoff,
+		MaxCost:        *maxCost,
+		MaxQueue:       *maxQueue,
+		PerClient:      *perClient,
+		Breaker:        serve.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		Memory:         serve.MemoryConfig{Limit: *memLimitMB << 20},
+		DefaultTimeout: *defaultTO,
+		MaxTimeout:     *maxTO,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(errOut, "listen: %v\n", err)
+		return 1
+	}
+	srv.Start(ctx)
+	// The address line is the readiness handshake for scripts (the port may
+	// have been picked by the kernel under :0).
+	fmt.Fprintf(errOut, "dylect-served listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(errOut, "serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(errOut, "draining (grace %s)...\n", *drainGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	clean := srv.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(errOut, "shutdown: %v\n", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(errOut, "serve: %v\n", err)
+	}
+	if clean {
+		fmt.Fprintln(errOut, "drained cleanly")
+	} else {
+		fmt.Fprintln(errOut, "drain grace expired; abandoned in-flight waits")
+	}
+	return 0
+}
+
+// clientCLI is the `dylect-served client` subcommand: one Run call with
+// jittered exponential backoff honoring Retry-After, printing the rendered
+// experiment blocks to out.
+func clientCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("dylect-served client", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8344", "service base URL")
+		exp      = fs.String("exp", "", "comma-separated experiment names (required)")
+		client   = fs.String("client", "", "client identity for fairness accounting")
+		timeout  = fs.Duration("timeout", 0, "request deadline propagated into cell execution (0 = server default)")
+		attempts = fs.Int("attempts", 6, "max attempts across retryable rejections")
+		seed     = fs.Int64("seed", 1, "backoff jitter seed")
+		jsonOut  = fs.Bool("json", false, "print the raw results JSON instead of rendered blocks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *exp == "" {
+		fmt.Fprintln(out, "client: -exp is required")
+		return 2
+	}
+	req := serve.RunRequest{
+		Experiments: strings.Split(*exp, ","),
+		Client:      *client,
+	}
+	if *timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
+	c := serve.NewClient(*addr, *seed)
+	c.MaxAttempts = *attempts
+	resp, err := c.Run(ctx, req)
+	if err != nil {
+		fmt.Fprintf(errOut, "client: %v\n", err)
+		return 1
+	}
+	if *jsonOut {
+		fmt.Fprintf(out, "%s\n", resp.Results)
+	} else {
+		for _, er := range resp.Experiments {
+			if er.Error != "" {
+				fmt.Fprintf(out, "== %s (%s)\n\n!! failed [%s]: %s\n\n", er.Title, er.Name, er.Code, er.Error)
+				continue
+			}
+			fmt.Fprintf(out, "== %s (%s)\n\n", er.Title, er.Name)
+			for _, b := range er.Blocks {
+				fmt.Fprintln(out, b)
+			}
+		}
+	}
+	if resp.Partial {
+		fmt.Fprintln(errOut, "client: response is partial (deadline or shed cells)")
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuf is a mutex-guarded buffer: serverCLI writes to it from the test's
+// server goroutine while the test polls it for the address handshake.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`dylect-served listening on (\S+)`)
+
+// TestServerClientRoundTrip boots the server CLI on an ephemeral port, runs
+// the client subcommand against it, then cancels the server context (the
+// SIGINT/SIGTERM path) and expects a clean drain and exit code 0.
+func TestServerClientRoundTrip(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var srvOut, srvErr syncBuf
+	exit := make(chan int, 1)
+	go func() {
+		exit <- serverCLI(ctx, []string{"-addr", "127.0.0.1:0", "-quick"}, &srvOut, &srvErr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(srvErr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never printed its address; stderr:\n%s", srvErr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// table3 plans no simulations, so the round trip is fast even here.
+	var cliOut, cliErr bytes.Buffer
+	code := clientCLI(context.Background(),
+		[]string{"-addr", "http://" + addr, "-exp", "table3", "-client", "cli-test"},
+		&cliOut, &cliErr)
+	if code != 0 {
+		t.Fatalf("client exit = %d; stderr:\n%s", code, cliErr.String())
+	}
+	if !strings.Contains(cliOut.String(), "Table 3") {
+		t.Fatalf("client output missing rendered table:\n%s", cliOut.String())
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("server exit = %d; stderr:\n%s", code, srvErr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not exit after cancel; stderr:\n%s", srvErr.String())
+	}
+	if !strings.Contains(srvErr.String(), "drained cleanly") {
+		t.Fatalf("idle drain was not clean; stderr:\n%s", srvErr.String())
+	}
+}
+
+func TestServerCLIBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := serverCLI(context.Background(), []string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestClientCLIRequiresExperiments(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := clientCLI(context.Background(), nil, &out, &errOut); code != 2 {
+		t.Fatalf("missing -exp exit = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "-exp is required") {
+		t.Fatalf("usage hint missing:\n%s", out.String())
+	}
+}

@@ -67,6 +67,7 @@ func All() []*Analyzer {
 		Schedule(),
 		StatCheck(),
 		Exhaustive(),
+		CtxFlow(),
 	}
 }
 

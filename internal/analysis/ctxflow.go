@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// CtxFlow returns the analyzer guarding context plumbing in the serving
+// layer. Every non-test function in internal/serve that launches a goroutine
+// must take a context.Context parameter: the service's whole resilience
+// story — request deadlines, graceful drain, force-abandon — works by
+// cancellation, and a goroutine spawned from a function with no context in
+// scope has, by construction, nothing wired to stop it. Such a goroutine
+// outlives drains, leaks under chaos, and defeats the soak test's leak
+// check. Functions that merely block (or use context.AfterFunc) are exempt;
+// it is the `go` statement that creates an unsupervised lifetime.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "require a context.Context parameter on internal/serve functions that launch goroutines",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		if !pathHasSuffix(pkg.Path, "internal/serve") {
+			return
+		}
+		if isTestFile(prog.Fset.Position(file.Pos()).Filename) {
+			return
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasContextParam(pkg, fn.Type) {
+				continue
+			}
+			name := funcDisplayName(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos: g.Pos(),
+					Message: fmt.Sprintf("%s launches a goroutine but has no context.Context parameter; serving-layer goroutines must be cancelable or they outlive drains", name),
+				})
+				return true
+			})
+		}
+	})
+	return diags
+}
+
+// hasContextParam reports whether the function type declares at least one
+// parameter of type context.Context.
+func hasContextParam(pkg *Package, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isNamedFrom(pkg.Info.TypeOf(field.Type), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders "Name" or "(Recv).Name" for diagnostics.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return fmt.Sprintf("(*%s).%s", id.Name, fn.Name.Name)
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return fmt.Sprintf("(%s).%s", id.Name, fn.Name.Name)
+	}
+	return fn.Name.Name
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import "testing"
+
+// servePkg wraps source into a fixture package whose import path ends in
+// internal/serve, the path ctxflow guards.
+func servePkg(filename, src string) map[string]map[string]string {
+	return map[string]map[string]string{
+		"fix/internal/serve": {filename: src},
+	}
+}
+
+func TestCtxFlowFlagsGoroutineWithoutContext(t *testing.T) {
+	src := `package serve
+
+func work() {}
+
+func spawn() {
+	go work()
+}
+`
+	findings := runOn(t, loadFixture(t, "package sut", servePkg("serve.go", src)), CtxFlow())
+	wantFinding(t, findings, "spawn", "context.Context")
+}
+
+func TestCtxFlowContextParamOK(t *testing.T) {
+	src := `package serve
+
+import "context"
+
+func work(ctx context.Context) {}
+
+func spawn(ctx context.Context) {
+	go work(ctx)
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, "package sut", servePkg("serve.go", src)), CtxFlow()))
+}
+
+func TestCtxFlowMethodsChecked(t *testing.T) {
+	src := `package serve
+
+import "context"
+
+type Server struct{}
+
+func (s *Server) drainWait() {
+	go func() {}()
+}
+
+func (s *Server) Start(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+`
+	findings := runOn(t, loadFixture(t, "package sut", servePkg("serve.go", src)), CtxFlow())
+	wantFinding(t, findings, "(*Server).drainWait")
+}
+
+func TestCtxFlowGoInsideClosureAttributedToDecl(t *testing.T) {
+	// The goroutine hides inside a nested closure; the enclosing declaration
+	// still has no context, so it is still unsupervised.
+	src := `package serve
+
+func spawn() {
+	fn := func() {
+		go func() {}()
+	}
+	fn()
+}
+`
+	wantFinding(t, runOn(t, loadFixture(t, "package sut", servePkg("serve.go", src)), CtxFlow()), "spawn")
+}
+
+func TestCtxFlowOtherPackagesExempt(t *testing.T) {
+	// The same shape outside internal/serve is not this analyzer's business.
+	src := `package sut
+
+func work() {}
+
+func spawn() {
+	go work()
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), CtxFlow()))
+}
+
+func TestCtxFlowTestFilesExempt(t *testing.T) {
+	src := `package serve
+
+func spawnForTest() {
+	go func() {}()
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, "package sut", servePkg("serve_test.go", src)), CtxFlow()))
+}
+
+func TestCtxFlowNoGoroutinesOK(t *testing.T) {
+	src := `package serve
+
+func plain() int { return 1 }
+`
+	wantClean(t, runOn(t, loadFixture(t, "package sut", servePkg("serve.go", src)), CtxFlow()))
+}

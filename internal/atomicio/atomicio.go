@@ -7,14 +7,49 @@
 package atomicio
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 )
+
+// openDirFile opens a directory for fsync. A test hook: replaced to
+// exercise the directory-open failure path, which cannot be forced through
+// permissions when the tests run as root.
+var openDirFile = func(dir string) (*os.File, error) {
+	return os.Open(dir)
+}
+
+// syncDir fsyncs the directory holding a just-renamed file. The rename
+// itself only mutates the directory entry, which lives in the directory's
+// own metadata — without this fsync a crash can durably keep the data blocks
+// yet lose the name pointing at them, resurrecting the old file (or nothing)
+// on recovery.
+func syncDir(dir string) error {
+	d, err := openDirFile(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems reject fsync on directories (EINVAL); POSIX permits
+	// it. Treat only real I/O errors as fatal so the write path stays
+	// portable.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
+}
 
 // WriteFile atomically replaces path with data. The temporary file is
 // created in path's directory so the final rename never crosses a
-// filesystem boundary (cross-device renames are copies, not atomic).
+// filesystem boundary (cross-device renames are copies, not atomic), and
+// the directory is fsynced after the rename so the new name itself is
+// durable, not just the bytes behind it.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
@@ -45,6 +80,12 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err := syncDir(dir); err != nil {
+		// The rename already happened; the destination holds the new
+		// content. Report the durability gap rather than pretend the write
+		// is crash-safe.
+		return fmt.Errorf("atomicio: sync dir for %s: %w", path, err)
 	}
 	return nil
 }

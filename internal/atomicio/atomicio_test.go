@@ -1,9 +1,11 @@
 package atomicio
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -35,6 +37,58 @@ func TestWriteFileCreatesAndReplaces(t *testing.T) {
 	}
 	if len(ents) != 1 {
 		t.Fatalf("%d entries in dir, want 1", len(ents))
+	}
+}
+
+// TestWriteFileReportsDirSyncFailure forces the directory open inside the
+// post-rename fsync to fail (via the test hook — running as root, a
+// permission-stripped directory would still open) and checks the error is
+// surfaced: the caller must know the new name is not yet durable. The
+// renamed content itself must still be in place, since the rename precedes
+// the directory sync.
+func TestWriteFileReportsDirSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	boom := errors.New("injected: directory vanished")
+	orig := openDirFile
+	openDirFile = func(string) (*os.File, error) { return nil, boom }
+	t.Cleanup(func() { openDirFile = orig })
+
+	err := WriteFile(path, []byte("payload"), 0o644)
+	if err == nil {
+		t.Fatal("directory-sync failure went unreported")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error does not wrap the open failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), "sync dir") {
+		t.Fatalf("error does not identify the sync-dir phase: %v", err)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil || string(data) != "payload" {
+		t.Fatalf("rename did not land before the failed sync: %q, %v", data, rerr)
+	}
+}
+
+// TestWriteFileToleratesEINVALOnDirSync: filesystems that reject fsync on
+// directories (EINVAL/ENOTSUP) must not fail the write — only real I/O
+// errors do.
+func TestWriteFileToleratesEINVALOnDirSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	orig := openDirFile
+	openDirFile = func(d string) (*os.File, error) {
+		// /dev/null accepts Open but its fsync yields EINVAL on Linux,
+		// modeling a directory on a filesystem without directory fsync.
+		return os.OpenFile(os.DevNull, os.O_RDWR, 0)
+	}
+	t.Cleanup(func() { openDirFile = orig })
+
+	if err := WriteFile(path, []byte("ok"), 0o644); err != nil {
+		if errors.Is(err, syscall.EINVAL) {
+			t.Fatalf("EINVAL from directory fsync not tolerated: %v", err)
+		}
+		t.Fatal(err)
 	}
 }
 

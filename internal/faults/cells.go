@@ -1,7 +1,6 @@
 package faults
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 )
@@ -25,14 +24,25 @@ func (t Transient) Error() string { return t.Msg }
 // Transient marks the error retryable for harness retry logic.
 func (Transient) Transient() bool { return true }
 
-// IsTransient reports whether err (or anything it wraps) is marked
-// transient via a `Transient() bool` method.
+// IsTransient reports whether err (or anything it wraps, through single or
+// multi-error unwrapping) is marked transient via a `Transient() bool`
+// method.
 func IsTransient(err error) bool {
-	for err != nil {
-		if t, ok := err.(interface{ Transient() bool }); ok {
-			return t.Transient()
+	if err == nil {
+		return false
+	}
+	if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+		return true
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() error }:
+		return IsTransient(u.Unwrap())
+	case interface{ Unwrap() []error }:
+		for _, e := range u.Unwrap() {
+			if IsTransient(e) {
+				return true
+			}
 		}
-		err = errors.Unwrap(err)
 	}
 	return false
 }

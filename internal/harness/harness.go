@@ -155,9 +155,27 @@ type flight struct {
 // Runner memoizes simulation results behind a single-flight cache and a
 // bounded worker pool. The zero value is not usable; construct with
 // NewRunner. All methods are safe for concurrent use.
+//
+// A Runner is a lightweight view over shared state: WithContext returns a
+// second view onto the same cache and worker pool whose cells are gated by
+// a request-scoped context. The serving layer (internal/serve) gives every
+// HTTP request its own view so client deadlines flow into cell execution
+// while results stay memoized across all clients.
 type Runner struct {
 	Cfg Config
 
+	*runnerState
+
+	// reqCtx, when non-nil, is this view's request-scoped context
+	// (WithContext): it gates the cells this view starts and bounds how
+	// long this view's callers wait on in-flight cells. Nil on the base
+	// runner, which uses the SetContext context instead.
+	reqCtx context.Context
+}
+
+// runnerState is the cross-view shared core of a Runner: the single-flight
+// cache, the worker pool, and every knob that must be common to all views.
+type runnerState struct {
 	mu    sync.Mutex
 	cache map[runKey]*flight
 	// sem bounds the number of simulations executing at once (SetJobs).
@@ -188,6 +206,20 @@ type Runner struct {
 	// the watchdogged goroutine); a non-nil error fails the attempt. It
 	// exists for fault injection (internal/faults.CellInjector).
 	cellHook func(cellKey string) error
+	// cellObserver, when set, is called once per settled cell with the
+	// cell's key and final error (nil on success), after the outcome is
+	// recorded but before waiters are released. The serving layer feeds
+	// its circuit breaker from it. It must not call back into the Runner's
+	// cell path (Result/get); cache-surgery methods like EvictFailed are
+	// safe.
+	cellObserver func(cellKey string, err error)
+	// evictFailed, when true, removes failed cells from the cache once
+	// they settle so a later request re-attempts them. The batch CLI keeps
+	// failures memoized (a sweep should fail each cell once); a long-lived
+	// service evicts them and relies on its circuit breaker to bound
+	// re-attempt storms. Cells canceled before starting are always
+	// evicted, in every mode.
+	evictFailed bool
 	// checkpoint, when attached, is consulted before simulating a cell and
 	// updated after each success.
 	checkpoint *Checkpoint
@@ -208,9 +240,37 @@ func NewRunner(cfg Config) *Runner {
 	if cfg.Window == 0 {
 		cfg.Window = 150 * engine.Microsecond
 	}
-	r := &Runner{Cfg: cfg, cache: make(map[runKey]*flight)}
+	r := &Runner{Cfg: cfg, runnerState: &runnerState{cache: make(map[runKey]*flight)}}
 	r.SetJobs(1)
 	return r
+}
+
+// WithContext returns a request-scoped view of the runner. The view shares
+// the cell cache, worker pool, resilience knobs, and checkpoint with the
+// receiver, but ctx gates the cells the view starts and bounds how long the
+// view's callers wait on in-flight cells: when ctx is done, waits return an
+// ErrCanceled-coded error while the underlying simulations keep running for
+// the benefit of other views. The view's Cfg is a copy, so per-request
+// degradation (e.g. shrinking MetricsSamples under memory pressure) cannot
+// leak into other views.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	return &Runner{Cfg: r.Cfg, runnerState: r.runnerState, reqCtx: ctx}
+}
+
+// callCtx resolves the context gating this view's cell starts and waits:
+// the view's request context when set, else the SetContext context, else
+// Background.
+func (r *Runner) callCtx() context.Context {
+	if r.reqCtx != nil {
+		return r.reqCtx
+	}
+	r.mu.Lock()
+	ctx := r.ctx
+	r.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
 }
 
 // SetJobs bounds how many simulations may execute concurrently. Values
@@ -260,6 +320,55 @@ func (r *Runner) SetCellHook(h func(cellKey string) error) {
 	r.mu.Lock()
 	r.cellHook = h
 	r.mu.Unlock()
+}
+
+// SetCellObserver installs an observer called once per settled cell with
+// the cell's key and final error (nil on success), before waiters are
+// released. The observer must not re-enter the runner's cell path.
+func (r *Runner) SetCellObserver(obs func(cellKey string, err error)) {
+	r.mu.Lock()
+	r.cellObserver = obs
+	r.mu.Unlock()
+}
+
+// SetEvictFailedCells selects the failure-memoization policy. When true,
+// failed cells are removed from the cache as they settle, so a later
+// request re-attempts them — the policy a long-lived service wants, with a
+// circuit breaker bounding re-attempt storms. When false (the default), a
+// failure is memoized like a success, so a batch sweep fails each broken
+// cell exactly once.
+func (r *Runner) SetEvictFailedCells(on bool) {
+	r.mu.Lock()
+	r.evictFailed = on
+	r.mu.Unlock()
+}
+
+// EvictFailed removes settled failed cells whose key (runKey.String form)
+// satisfies match from the cache, so later requests re-attempt them, and
+// reports how many were evicted. In-flight and successful cells are never
+// touched. A nil match evicts every settled failure.
+func (r *Runner) EvictFailed(match func(cellKey string) bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for k, f := range r.cache {
+		if f.done == nil {
+			continue // planning entry
+		}
+		select {
+		case <-f.done:
+		default:
+			continue // still running
+		}
+		if f.err == nil {
+			continue
+		}
+		if match == nil || match(k.String()) {
+			delete(r.cache, k)
+			n++
+		}
+	}
+	return n
 }
 
 // AttachCheckpoint makes the runner consult cp before simulating any cell
@@ -316,35 +425,54 @@ func (r *Runner) Result(wl string, d system.Design, s system.Setting) (*system.R
 // result is the single-flight core: the first requester of a key simulates
 // it (bounded by the jobs semaphore); duplicates block on the in-flight
 // entry. The key must already be normalized.
+//
+// Waits are bounded by the view's context: when it is done, waiting returns
+// an ErrCanceled-coded error while the in-flight simulation keeps running
+// for other views. A cell whose *starter's* context canceled it before it
+// ran is evicted from the cache (runCell), so a waiter whose own context is
+// still live retries with a fresh flight instead of inheriting a failure it
+// did not cause.
 func (r *Runner) result(key runKey) (*system.Result, error) {
-	r.mu.Lock()
-	if r.planning {
-		f, ok := r.cache[key]
-		if !ok {
-			f = &flight{res: &system.Result{}}
-			r.cache[key] = f
-			r.planOrder = append(r.planOrder, key)
+	ctx := r.callCtx()
+	for {
+		r.mu.Lock()
+		if r.planning {
+			f, ok := r.cache[key]
+			if !ok {
+				f = &flight{res: &system.Result{}}
+				r.cache[key] = f
+				r.planOrder = append(r.planOrder, key)
+			}
+			r.mu.Unlock()
+			return f.res, nil
 		}
+		if f, ok := r.cache[key]; ok {
+			r.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, withCode(ErrCanceled,
+					fmt.Errorf("harness: cell %s: abandoned wait: %w", key, ctx.Err()))
+			}
+			if errors.Is(f.err, ErrCanceled) && ctx.Err() == nil {
+				continue // the starter gave up, we have not: retry fresh
+			}
+			return f.res, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		r.cache[key] = f
 		r.mu.Unlock()
-		return f.res, nil
-	}
-	if f, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		<-f.done
+		r.runCell(ctx, key, f)
 		return f.res, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	r.cache[key] = f
-	r.mu.Unlock()
-	r.runCell(key, f)
-	return f.res, f.err
 }
 
 // runCell executes one cell: checkpoint restore, graceful-drain gate, worker
 // slot, then watchdogged attempts with transient-failure retry. Panics are
 // captured (with stack) so a failing cell reports its key instead of
-// crashing the process.
-func (r *Runner) runCell(key runKey, f *flight) {
+// crashing the process. ctx is the starter's context: it gates the start,
+// the retry backoff, and (with the watchdog) attempt abandonment.
+func (r *Runner) runCell(ctx context.Context, key runKey, f *flight) {
 	defer close(f.done)
 	defer r.noteSettled()
 	// Wall time and peak RSS are profiling data, kept strictly outside the
@@ -357,23 +485,35 @@ func (r *Runner) runCell(key runKey, f *flight) {
 			PeakRSSKB: peakRSSKB(),
 		}
 	}()
+	// Settlement bookkeeping: evict canceled (and, in service mode, failed)
+	// cells so a later request re-attempts them, and notify the observer.
+	// Runs after the recover below finalizes f.err, before waiters wake.
+	defer func() {
+		r.mu.Lock()
+		evict := f.err != nil && (r.evictFailed || errors.Is(f.err, ErrCanceled))
+		if evict && r.cache[key] == f {
+			delete(r.cache, key)
+		}
+		obs := r.cellObserver
+		r.mu.Unlock()
+		if obs != nil {
+			obs(key.String(), f.err)
+		}
+	}()
 	defer func() {
 		if p := recover(); p != nil {
-			f.err = fmt.Errorf("harness: cell %s: panic: %v\n%s", key, p, debug.Stack())
+			f.err = withCode(ErrCellPanic,
+				fmt.Errorf("harness: cell %s: panic: %v\n%s", key, p, debug.Stack()))
 			f.res = nil
 		}
 	}()
 
 	r.mu.Lock()
 	sem := r.sem
-	ctx := r.ctx
 	timeout := r.cellTimeout
 	retries, backoff := r.retries, r.retryBackoff
 	cp := r.checkpoint
 	r.mu.Unlock()
-	if ctx == nil {
-		ctx = context.Background()
-	}
 
 	if cp != nil {
 		if res, obs, ok := cp.Load(key); ok {
@@ -388,25 +528,35 @@ func (r *Runner) runCell(key runKey, f *flight) {
 	// into a worker slot run to completion and checkpoint.
 	select {
 	case <-ctx.Done():
-		f.err = fmt.Errorf("harness: cell %s: not started: %w", key, ctx.Err())
+		f.err = withCode(ErrCanceled,
+			fmt.Errorf("harness: cell %s: not started: %w", key, ctx.Err()))
 		return
 	default:
 	}
 	select {
 	case sem <- struct{}{}:
 	case <-ctx.Done():
-		f.err = fmt.Errorf("harness: cell %s: not started: %w", key, ctx.Err())
+		f.err = withCode(ErrCanceled,
+			fmt.Errorf("harness: cell %s: not started: %w", key, ctx.Err()))
 		return
 	}
 	// Released when runCell returns — including when the watchdog abandons
 	// a hung attempt, so one stuck cell cannot shrink the pool.
 	defer func() { <-sem }()
 
+	// The base runner's context is a graceful-drain gate: in-flight cells
+	// run to completion (and checkpoint) on cancellation. A request-scoped
+	// view's context is a deadline: it abandons the running attempt too.
+	attemptCtx := context.Background()
+	if r.reqCtx != nil {
+		attemptCtx = ctx
+	}
+
 	var res *system.Result
 	var obs *metrics.Data
 	for attempt := 1; ; attempt++ {
 		var err error
-		res, obs, err = r.attemptCell(key, timeout)
+		res, obs, err = r.attemptCell(attemptCtx, key, timeout)
 		if err == nil {
 			break
 		}
@@ -418,6 +568,9 @@ func (r *Runner) runCell(key runKey, f *flight) {
 				}
 			}
 			continue
+		}
+		if isTransient(err) {
+			err = withCode(ErrTransient, err)
 		}
 		f.err = err
 		return
@@ -439,8 +592,10 @@ func (r *Runner) runCell(key runKey, f *flight) {
 // attemptCell runs one simulation attempt in a child goroutine so the
 // watchdog can abandon it: a hung simulator (or injected hang) cannot block
 // the sweep. The abandoned goroutine's eventual result, if any, lands in a
-// buffered channel and is discarded.
-func (r *Runner) attemptCell(key runKey, timeout time.Duration) (*system.Result, *metrics.Data, error) {
+// buffered channel and is discarded. The starter's context composes with
+// the watchdog: whichever fires first abandons the attempt, so a request
+// deadline bounds cell execution even without -cell-timeout.
+func (r *Runner) attemptCell(ctx context.Context, key runKey, timeout time.Duration) (*system.Result, *metrics.Data, error) {
 	r.mu.Lock()
 	hook := r.cellHook
 	r.mu.Unlock()
@@ -454,7 +609,8 @@ func (r *Runner) attemptCell(key runKey, timeout time.Duration) (*system.Result,
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
-				ch <- outcome{err: fmt.Errorf("harness: cell %s: panic: %v\n%s", key, p, debug.Stack())}
+				ch <- outcome{err: withCode(ErrCellPanic,
+					fmt.Errorf("harness: cell %s: panic: %v\n%s", key, p, debug.Stack()))}
 			}
 		}()
 		if hook != nil {
@@ -481,7 +637,11 @@ func (r *Runner) attemptCell(key runKey, timeout time.Duration) (*system.Result,
 	case o := <-ch:
 		return o.res, o.obs, o.err
 	case <-watchdog:
-		return nil, nil, fmt.Errorf("harness: cell %s: no result after %v; watchdog abandoned the worker", key, timeout)
+		return nil, nil, withCode(ErrCellTimeout,
+			fmt.Errorf("harness: cell %s: no result after %v; watchdog abandoned the worker", key, timeout))
+	case <-ctx.Done():
+		return nil, nil, withCode(ErrCanceled,
+			fmt.Errorf("harness: cell %s: attempt abandoned: %w", key, ctx.Err()))
 	}
 }
 
@@ -534,19 +694,6 @@ func (r *Runner) simulate(key runKey) (*system.Result, *metrics.Data, error) {
 		return res, nil, nil
 	}
 	return res, rec.Data(), nil
-}
-
-// isTransient reports whether err (or anything it wraps) marks itself
-// retryable via a `Transient() bool` method. Simulator faults and audit
-// violations are deterministic and never match.
-func isTransient(err error) bool {
-	for err != nil {
-		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
-			return true
-		}
-		err = errors.Unwrap(err)
-	}
-	return false
 }
 
 // noteSettled records one settled cell and fires the progress callback.

@@ -160,3 +160,98 @@ func planCells(cfg Config, exps []Experiment) []runKey {
 	}
 	return p.planOrder
 }
+
+// PlannedCell identifies one cell an experiment list will simulate. The
+// serving layer sizes admission control from the plan's length (its cost
+// model) and keys its per-(workload, design) circuit breakers from the
+// Workload and Design fields.
+type PlannedCell struct {
+	Workload string
+	Design   string
+	Setting  string
+	// Cell is the human-readable cell key (runKey.String form) — the same
+	// string cell errors, the cell hook, and the cell observer carry.
+	Cell string
+}
+
+// PlanExperiments dry-runs the experiment list against cfg and returns the
+// exact deduplicated cell set the real run will simulate, in first-request
+// order. Planning is cheap: no simulation executes.
+func PlanExperiments(cfg Config, exps []Experiment) []PlannedCell {
+	plan := planCells(cfg, exps)
+	out := make([]PlannedCell, len(plan))
+	for i, k := range plan {
+		out[i] = PlannedCell{
+			Workload: k.workload,
+			Design:   k.design.String(),
+			Setting:  k.setting.String(),
+			Cell:     k.String(),
+		}
+	}
+	return out
+}
+
+// FreshCost reports how many of the experiment list's planned cells are not
+// yet in the runner's cache — the number of new simulations a request for
+// exps would trigger right now. Cells in flight count as fresh (their cost
+// is already being paid, but the caller will still wait on them).
+func (r *Runner) FreshCost(exps []Experiment) int {
+	plan := planCells(r.Cfg, exps)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fresh := 0
+	for _, key := range plan {
+		if _, ok := r.cache[key]; !ok {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// RunShared executes experiments against a runner view without mutating any
+// runner-global knob: no worker-pool resize, no global context, no progress
+// rewiring. It is the request-scoped counterpart of RunExperiments for a
+// long-lived service where many requests share one memoizing runner — each
+// request wraps the shared runner with WithContext and calls RunShared, so
+// its deadline gates only its own cells and waits. Outputs are returned in
+// the given order; per-experiment failures are reported in the outputs, not
+// joined into a process-level error.
+func RunShared(r *Runner, exps []Experiment) []ExperimentOutput {
+	// Warm every planned cell through the shared single-flight cache so a
+	// request's cells overlap regardless of experiment structure.
+	plan := planCells(r.Cfg, exps)
+	var warm sync.WaitGroup
+	for _, key := range plan {
+		warm.Add(1)
+		go func(key runKey) {
+			defer warm.Done()
+			// Errors surface through the experiments that need the cell.
+			_, _ = r.result(key)
+		}(key)
+	}
+
+	outs := make([]ExperimentOutput, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		outs[i].Experiment = e
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if ce, ok := p.(cellError); ok {
+					outs[i].Err = fmt.Errorf("experiment %s: %w", e.Name, ce.err)
+					return
+				}
+				outs[i].Err = fmt.Errorf("experiment %s: panic: %v", e.Name, p)
+			}()
+			outs[i].Blocks = e.Run(r)
+		}(i, e)
+	}
+	wg.Wait()
+	warm.Wait()
+	return outs
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -28,8 +29,14 @@ func TestWatchdogAbandonsHungCell(t *testing.T) {
 	if err == nil {
 		t.Fatal("hung cell reported success")
 	}
-	if !strings.Contains(err.Error(), "watchdog") || !strings.Contains(err.Error(), "omnetpp/tmcc/high") {
-		t.Fatalf("timeout error missing watchdog context or cell key: %v", err)
+	if !errors.Is(err, ErrCellTimeout) {
+		t.Fatalf("timeout not classified as ErrCellTimeout: %v", err)
+	}
+	if code := CellErrorCode(err); code != ErrCellTimeout {
+		t.Fatalf("CellErrorCode = %v, want ErrCellTimeout", code)
+	}
+	if !strings.Contains(err.Error(), "omnetpp/tmcc/high") {
+		t.Fatalf("timeout error does not name the cell key: %v", err)
 	}
 	if waited := time.Since(start); waited > 5*time.Second {
 		t.Fatalf("watchdog took %v to fire", waited)
@@ -85,8 +92,11 @@ func TestTransientRetryBudgetExhausted(t *testing.T) {
 	if err == nil {
 		t.Fatal("cell succeeded despite unexhausted transient failures")
 	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("exhausted retry not classified as ErrTransient: %v", err)
+	}
 	if !isTransient(err) {
-		t.Fatalf("transient classification lost through wrapping: %v", err)
+		t.Fatalf("Transient() marker lost through wrapping: %v", err)
 	}
 	if got := ci.Attempts("omnetpp/tmcc/high"); got != 2 {
 		t.Fatalf("attempts = %d, want 2 (initial + 1 retry)", got)
@@ -109,9 +119,12 @@ func TestDeterministicFailureNotRetried(t *testing.T) {
 	if got := ci.Attempts("omnetpp/tmcc/high"); got != 1 {
 		t.Fatalf("panic was retried: %d attempts", got)
 	}
+	if !errors.Is(err, ErrCellPanic) {
+		t.Fatalf("panic not classified as ErrCellPanic: %v", err)
+	}
 	msg := err.Error()
-	if !strings.Contains(msg, "panic") || !strings.Contains(msg, "omnetpp/tmcc/high") {
-		t.Fatalf("panic error missing context: %v", err)
+	if !strings.Contains(msg, "omnetpp/tmcc/high") {
+		t.Fatalf("panic error does not name the cell key: %v", err)
 	}
 	if !strings.Contains(msg, "goroutine") || !strings.Contains(msg, "faults.(*CellInjector).Hook") {
 		t.Fatalf("panic error missing the recovered stack trace: %v", err)
@@ -136,8 +149,8 @@ func TestGracefulDrainPartialExport(t *testing.T) {
 	if err == nil {
 		t.Fatal("cell started after cancellation")
 	}
-	if !strings.Contains(err.Error(), "not started") {
-		t.Fatalf("drain error unexpected: %v", err)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("drain error not classified as ErrCanceled: %v", err)
 	}
 
 	data, err := r.ExportJSON()

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Admission is the service's cost-based admission controller. A request's
+// cost is the number of fresh simulations its dry-run plan needs (cached
+// cells are free); Acquire either admits it into the bounded running set,
+// parks it in a bounded FIFO queue, or rejects it with a stable code and a
+// Retry-After estimate. Fairness is per client: a client may only hold
+// PerClient requests in the system (running + queued) at once, so one
+// greedy caller cannot starve the queue. Under memory pressure the server
+// sheds queued requests largest-cost-first via ShedLargest — the requests
+// most likely to deepen the pressure, and the fairest to retry elsewhere.
+type Admission struct {
+	mu sync.Mutex
+
+	maxCost   int // cost units allowed to run concurrently
+	maxQueue  int // queued requests beyond which new work is shed
+	perClient int // per-client in-system request cap
+
+	running  int
+	queue    []*ticket
+	inSystem map[string]int // client -> running+queued request count
+
+	// ewmaSec tracks seconds of service time per cost unit, updated on
+	// every release; it prices the Retry-After estimates.
+	ewmaSec   float64
+	shedTotal int
+
+	now func() time.Time
+}
+
+// ticket is one parked request.
+type ticket struct {
+	client string
+	cost   int
+	ready  chan struct{}
+	// rejected is set (before ready closes) when the server sheds the
+	// ticket instead of admitting it.
+	rejected *AdmissionError
+}
+
+// AdmissionError is a typed admission rejection: a stable code plus a
+// Retry-After hint.
+type AdmissionError struct {
+	Code       string
+	Msg        string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string { return fmt.Sprintf("admission: %s: %s", e.Code, e.Msg) }
+
+// NewAdmission builds a controller. maxCost <=0 defaults to 8 cost units,
+// maxQueue <=0 to 16 requests, perClient <=0 to 4. A nil clock uses wall
+// time.
+func NewAdmission(maxCost, maxQueue, perClient int, now func() time.Time) *Admission {
+	if maxCost <= 0 {
+		maxCost = 8
+	}
+	if maxQueue <= 0 {
+		maxQueue = 16
+	}
+	if perClient <= 0 {
+		perClient = 4
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Admission{
+		maxCost:   maxCost,
+		maxQueue:  maxQueue,
+		perClient: perClient,
+		inSystem:  map[string]int{},
+		now:       now,
+	}
+}
+
+// Acquire admits a request of the given cost for client, blocking in the
+// FIFO queue when the running set is full. It returns a release function
+// that MUST be called exactly once when the request finishes (it feeds the
+// service-time estimator and unparks queued work), or an AdmissionError.
+// Costs are clamped to >=1 so even plan-free requests are accounted.
+func (a *Admission) Acquire(ctx context.Context, client string, cost int) (release func(), err *AdmissionError) {
+	if cost < 1 {
+		cost = 1
+	}
+	a.mu.Lock()
+	if a.inSystem[client] >= a.perClient {
+		retry := a.estimateLocked(1)
+		a.mu.Unlock()
+		return nil, &AdmissionError{
+			Code:       CodeClientLimit,
+			Msg:        fmt.Sprintf("client %q already has %d requests in the system", client, a.perClient),
+			RetryAfter: retry,
+		}
+	}
+	// Admit immediately only when no one is queued ahead (FIFO).
+	if len(a.queue) == 0 && a.fitsLocked(cost) {
+		a.running += cost
+		a.inSystem[client]++
+		start := a.now()
+		a.mu.Unlock()
+		return a.releaseFunc(client, cost, start), nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		retry := a.estimateLocked(cost)
+		a.mu.Unlock()
+		return nil, &AdmissionError{
+			Code:       CodeQueueFull,
+			Msg:        fmt.Sprintf("admission queue full (%d waiting)", a.maxQueue),
+			RetryAfter: retry,
+		}
+	}
+	t := &ticket{client: client, cost: cost, ready: make(chan struct{})}
+	a.queue = append(a.queue, t)
+	a.inSystem[client]++
+	a.mu.Unlock()
+
+	select {
+	case <-t.ready:
+		if t.rejected != nil {
+			return nil, t.rejected
+		}
+		// admitLocked moved the ticket's cost into running.
+		return a.releaseFunc(client, cost, a.now()), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		// The ticket may have been admitted or shed while we raced ctx.
+		for i, q := range a.queue {
+			if q == t {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.inSystem[client]--
+				if a.inSystem[client] <= 0 {
+					delete(a.inSystem, client)
+				}
+				a.mu.Unlock()
+				return nil, &AdmissionError{Code: CodeCanceled, Msg: ctx.Err().Error()}
+			}
+		}
+		a.mu.Unlock()
+		// Not in the queue: it settled. Honor the settlement.
+		<-t.ready
+		if t.rejected != nil {
+			return nil, t.rejected
+		}
+		return a.releaseFunc(client, cost, a.now()), nil
+	}
+}
+
+// releaseFunc builds the once-only release closure for an admitted request.
+func (a *Admission) releaseFunc(client string, cost int, start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			elapsed := a.now().Sub(start)
+			a.mu.Lock()
+			a.running -= cost
+			a.inSystem[client]--
+			if a.inSystem[client] <= 0 {
+				delete(a.inSystem, client)
+			}
+			// EWMA over per-unit service seconds, alpha 0.3.
+			unit := elapsed.Seconds() / float64(cost)
+			if a.ewmaSec == 0 {
+				a.ewmaSec = unit
+			} else {
+				a.ewmaSec = 0.7*a.ewmaSec + 0.3*unit
+			}
+			a.admitLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// fitsLocked reports whether a request of the given cost may run now. A
+// cost larger than the whole budget can never satisfy running+cost <=
+// maxCost, so oversized requests are admitted whenever the running set is
+// empty — they run alone instead of wedging forever.
+func (a *Admission) fitsLocked(cost int) bool {
+	return a.running+cost <= a.maxCost || a.running == 0
+}
+
+// admitLocked unparks queued tickets in FIFO order while capacity lasts.
+func (a *Admission) admitLocked() {
+	for len(a.queue) > 0 {
+		t := a.queue[0]
+		if !a.fitsLocked(t.cost) {
+			return
+		}
+		a.running += t.cost
+		a.queue = a.queue[1:]
+		close(t.ready)
+	}
+}
+
+// ShedLargest cancels queued requests, largest cost first, until at least
+// want cost units have been shed or the queue is empty, and reports how
+// many requests were shed. The memory monitor calls it under pressure:
+// shedding the biggest queued sweeps frees the most prospective allocation
+// per rejected caller.
+func (a *Admission) ShedLargest(want int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	shed := 0
+	freed := 0
+	for freed < want && len(a.queue) > 0 {
+		// Largest cost; FIFO order breaks ties (shed the newest of equals
+		// by scanning from the back).
+		best := len(a.queue) - 1
+		for i := len(a.queue) - 1; i >= 0; i-- {
+			if a.queue[i].cost > a.queue[best].cost {
+				best = i
+			}
+		}
+		t := a.queue[best]
+		a.queue = append(a.queue[:best], a.queue[best+1:]...)
+		a.inSystem[t.client]--
+		if a.inSystem[t.client] <= 0 {
+			delete(a.inSystem, t.client)
+		}
+		t.rejected = &AdmissionError{
+			Code:       CodeShed,
+			Msg:        fmt.Sprintf("shed under memory pressure (cost %d)", t.cost),
+			RetryAfter: a.estimateLocked(t.cost),
+		}
+		close(t.ready)
+		freed += t.cost
+		shed++
+		a.shedTotal++
+	}
+	return shed
+}
+
+// estimateLocked prices a Retry-After hint for a request of the given cost:
+// the backlog ahead of it (running plus queued cost) times the measured
+// per-unit service time, floored at one second so clients never spin.
+func (a *Admission) estimateLocked(cost int) time.Duration {
+	backlog := a.running + cost
+	for _, t := range a.queue {
+		backlog += t.cost
+	}
+	sec := a.ewmaSec * float64(backlog)
+	d := time.Duration(sec * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Stats snapshots the controller for /v1/stats.
+func (a *Admission) Stats() (running, queued, queuedCost, shedTotal int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, t := range a.queue {
+		queuedCost += t.cost
+	}
+	return a.running, len(a.queue), queuedCost, a.shedTotal
+}
+
+// queuedCosts returns the costs currently parked, for tests (sorted).
+func (a *Admission) queuedCosts() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int, 0, len(a.queue))
+	for _, t := range a.queue {
+		out = append(out, t.cost)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateAndFIFO(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(4, 8, 10, clk.Now)
+
+	relA, err := a.Acquire(context.Background(), "a", 3)
+	if err != nil {
+		t.Fatalf("first acquire rejected: %v", err)
+	}
+	// 3/4 used; a cost-2 request must queue, and a later cost-1 request
+	// must queue BEHIND it (FIFO), not slip past into the free unit.
+	chB := goAcquire(a, context.Background(), "b", 2)
+	waitFor(t, 2*time.Second, "b to queue", func() bool {
+		_, q, _, _ := a.Stats()
+		return q == 1
+	})
+	chC := goAcquire(a, context.Background(), "c", 1)
+	waitFor(t, 2*time.Second, "c to queue", func() bool {
+		_, q, _, _ := a.Stats()
+		return q == 2
+	})
+	select {
+	case r := <-chC:
+		if r.err == nil {
+			t.Fatal("cost-1 request jumped the FIFO queue")
+		}
+		t.Fatalf("queued request rejected: %v", r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	clk.Advance(2 * time.Second)
+	relA()
+	rB := <-chB
+	if rB.err != nil {
+		t.Fatalf("b not admitted after release: %v", rB.err)
+	}
+	rC := <-chC
+	if rC.err != nil {
+		t.Fatalf("c not admitted after release: %v", rC.err)
+	}
+	rB.release()
+	rC.release()
+	running, queued, _, _ := a.Stats()
+	if running != 0 || queued != 0 {
+		t.Fatalf("controller not drained: running=%d queued=%d", running, queued)
+	}
+}
+
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(1, 2, 10, clk.Now)
+	rel, err := a.Acquire(context.Background(), "hog", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Stage the enqueues so the FIFO order matches the reap order below.
+	ch1 := goAcquire(a, context.Background(), "q1", 1)
+	waitFor(t, 2*time.Second, "q1 to queue", func() bool {
+		_, q, _, _ := a.Stats()
+		return q == 1
+	})
+	ch2 := goAcquire(a, context.Background(), "q2", 1)
+	waitFor(t, 2*time.Second, "queue to fill", func() bool {
+		_, q, _, _ := a.Stats()
+		return q == 2
+	})
+	_, aerr := a.Acquire(context.Background(), "late", 1)
+	if aerr == nil {
+		t.Fatal("over-capacity request admitted")
+	}
+	if aerr.Code != CodeQueueFull {
+		t.Fatalf("code = %q, want %q", aerr.Code, CodeQueueFull)
+	}
+	if aerr.RetryAfter < time.Second {
+		t.Fatalf("Retry-After %v not floored at 1s", aerr.RetryAfter)
+	}
+	// Unblock the queued requests so the test's goroutines exit.
+	rel()
+	r1 := <-ch1
+	if r1.err != nil {
+		t.Fatal(r1.err)
+	}
+	r1.release()
+	r2 := <-ch2
+	if r2.err != nil {
+		t.Fatal(r2.err)
+	}
+	r2.release()
+}
+
+func TestAdmissionPerClientFairness(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(100, 100, 2, clk.Now)
+	rel1, err1 := a.Acquire(context.Background(), "greedy", 1)
+	rel2, err2 := a.Acquire(context.Background(), "greedy", 1)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("under-cap acquires rejected: %v, %v", err1, err2)
+	}
+	if _, err := a.Acquire(context.Background(), "greedy", 1); err == nil {
+		t.Fatal("third in-system request for one client admitted")
+	} else if err.Code != CodeClientLimit {
+		t.Fatalf("code = %q, want %q", err.Code, CodeClientLimit)
+	}
+	// A different client is unaffected by greedy's saturation.
+	rel3, err3 := a.Acquire(context.Background(), "polite", 1)
+	if err3 != nil {
+		t.Fatalf("other client starved: %v", err3)
+	}
+	rel3()
+	rel1()
+	// With one slot back, greedy may enter again.
+	rel4, err4 := a.Acquire(context.Background(), "greedy", 1)
+	if err4 != nil {
+		t.Fatalf("client cap not released: %v", err4)
+	}
+	rel4()
+	rel2()
+}
+
+func TestAdmissionShedLargestFirst(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(1, 10, 10, clk.Now)
+	rel, err := a.Acquire(context.Background(), "hog", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	small := goAcquire(a, context.Background(), "s", 2)
+	big := goAcquire(a, context.Background(), "b", 9)
+	mid := goAcquire(a, context.Background(), "m", 5)
+	waitFor(t, 2*time.Second, "three queued", func() bool {
+		_, q, _, _ := a.Stats()
+		return q == 3
+	})
+
+	if got := a.ShedLargest(10); got != 2 {
+		t.Fatalf("shed %d requests, want 2 (9 then 5 covers want=10)", got)
+	}
+	rb := <-big
+	if rb.err == nil || rb.err.Code != CodeShed {
+		t.Fatalf("big request not shed: %+v", rb.err)
+	}
+	rm := <-mid
+	if rm.err == nil || rm.err.Code != CodeShed {
+		t.Fatalf("mid request not shed: %+v", rm.err)
+	}
+	if got := a.queuedCosts(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("queue after shed = %v, want [2]", got)
+	}
+	rel()
+	rs := <-small
+	if rs.err != nil {
+		t.Fatalf("small request should have survived the shed: %v", rs.err)
+	}
+	rs.release()
+}
+
+func TestAdmissionCanceledWhileQueued(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(1, 10, 10, clk.Now)
+	rel, err := a.Acquire(context.Background(), "hog", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := goAcquire(a, ctx, "impatient", 1)
+	waitFor(t, 2*time.Second, "request to queue", func() bool {
+		_, q, _, _ := a.Stats()
+		return q == 1
+	})
+	cancel()
+	r := <-ch
+	if r.err == nil || r.err.Code != CodeCanceled {
+		t.Fatalf("canceled wait not reported: %+v", r.err)
+	}
+	_, queued, _, _ := a.Stats()
+	if queued != 0 {
+		t.Fatalf("canceled ticket still queued (%d)", queued)
+	}
+	// The client's fairness slot must be returned too: a fresh request from
+	// the same client queues normally instead of tripping the client cap.
+	ch2 := goAcquire(a, context.Background(), "impatient", 1)
+	waitFor(t, 2*time.Second, "fresh request to queue", func() bool {
+		_, q, _, _ := a.Stats()
+		return q == 1
+	})
+	rel()
+	r2 := <-ch2
+	if r2.err != nil {
+		t.Fatalf("fairness slot leaked by canceled wait: %v", r2.err)
+	}
+	r2.release()
+}

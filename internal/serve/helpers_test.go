@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dylect/internal/engine"
+	"dylect/internal/harness"
+)
+
+// testConfig mirrors the harness's micro config: one workload at deep
+// scale, audited, so a cell simulates in well under a second even with the
+// race detector on.
+func testConfig() harness.Config {
+	return harness.Config{
+		Workloads:      []string{"omnetpp"},
+		ScaleDivisor:   16,
+		FootprintFloor: 64 << 20,
+		WarmupAccesses: 30_000,
+		Window:         15 * engine.Microsecond,
+		Audit:          true,
+	}
+}
+
+// fakeClock is an injectable clock for admission/breaker tests: state
+// transitions are driven by Advance, never by sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// leakCheck asserts, as the LAST cleanup of the test (so call it before
+// building servers — cleanups run LIFO), that the goroutine count settles
+// back to (near) its level at call time. The slack and retry loop absorb
+// runtime-internal goroutines (timer wheels, http idle conns) winding
+// down.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			// Keep-alive conns of the shared default client hold a read
+			// and write goroutine each until explicitly closed.
+			http.DefaultClient.CloseIdleConnections()
+			now := runtime.NumGoroutine()
+			if now <= before+3 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// mustExperiments resolves names or fails the test.
+func mustExperiments(t *testing.T, names ...string) []harness.Experiment {
+	t.Helper()
+	var out []harness.Experiment
+	for _, n := range names {
+		e, ok := harness.ByName(n)
+		if !ok {
+			t.Fatalf("experiment %q missing from registry", n)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// acquireResult funnels a blocking Acquire into a channel for tests.
+type acquireResult struct {
+	release func()
+	err     *AdmissionError
+}
+
+func goAcquire(a *Admission, ctx context.Context, client string, cost int) chan acquireResult {
+	ch := make(chan acquireResult, 1)
+	go func() {
+		rel, err := a.Acquire(ctx, client, cost)
+		ch <- acquireResult{rel, err}
+	}()
+	return ch
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Memory-pressure degradation. The server sets a soft runtime memory limit
+// (debug.SetMemoryLimit) so the GC works harder as the heap approaches it
+// rather than letting the process be OOM-killed, and a watermark monitor
+// translates heap occupancy into a degradation ladder:
+//
+//	ok       -> full service
+//	degraded -> shed the largest queued requests, disable per-cell
+//	            interval sampling on new requests (the most
+//	            memory-proportional optional feature)
+//	critical -> refuse new work (503 overloaded) until pressure recedes
+//
+// Refusing work is the last rung, not the first: observability is shed
+// before queued work, queued work before admission itself.
+
+// Memory pressure levels.
+const (
+	MemOK = iota
+	MemDegraded
+	MemCritical
+)
+
+// memLevelName names a level for /v1/stats.
+func memLevelName(l int32) string {
+	switch l {
+	case MemDegraded:
+		return "degraded"
+	case MemCritical:
+		return "critical"
+	}
+	return "ok"
+}
+
+// MemoryConfig tunes the monitor.
+type MemoryConfig struct {
+	// Limit is the soft memory limit in bytes, handed to
+	// debug.SetMemoryLimit and the base of the watermarks. <=0 disables
+	// both the limit and the monitor (level stays ok).
+	Limit int64
+	// High and Critical are watermark fractions of Limit; defaults 0.80
+	// and 0.95.
+	High     float64
+	Critical float64
+	// Interval is the sampling period; default 250ms.
+	Interval time.Duration
+	// ReadUsage returns current heap usage in bytes; nil uses
+	// runtime.ReadMemStats (HeapAlloc). Tests inject a fake to drive the
+	// ladder without allocating gigabytes.
+	ReadUsage func() uint64
+}
+
+func (c MemoryConfig) withDefaults() MemoryConfig {
+	if c.High <= 0 {
+		c.High = 0.80
+	}
+	if c.Critical <= 0 {
+		c.Critical = 0.95
+	}
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.ReadUsage == nil {
+		c.ReadUsage = func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		}
+	}
+	return c
+}
+
+// MemoryMonitor samples heap usage against the watermarks and reports the
+// current pressure level. Crossing into degraded (or worse) invokes
+// onPressure with the cost the server should shed.
+type MemoryMonitor struct {
+	cfg   MemoryConfig
+	level atomic.Int32
+	// onPressure is called from the monitor goroutine on every upward
+	// level transition; the server wires it to Admission.ShedLargest.
+	onPressure func(level int32)
+	prevLimit  int64
+	limitSet   bool
+}
+
+// NewMemoryMonitor builds a monitor; onPressure may be nil.
+func NewMemoryMonitor(cfg MemoryConfig, onPressure func(level int32)) *MemoryMonitor {
+	return &MemoryMonitor{cfg: cfg.withDefaults(), onPressure: onPressure}
+}
+
+// Start applies the soft memory limit and launches the sampling loop, which
+// runs until ctx is done. With Limit <=0 it is a no-op.
+func (m *MemoryMonitor) Start(ctx context.Context) {
+	if m.cfg.Limit <= 0 {
+		return
+	}
+	m.prevLimit = debug.SetMemoryLimit(m.cfg.Limit)
+	m.limitSet = true
+	go m.loop(ctx)
+}
+
+// Stop restores the previous runtime memory limit. Call after the sampling
+// loop's ctx is done.
+func (m *MemoryMonitor) Stop() {
+	if m.limitSet {
+		debug.SetMemoryLimit(m.prevLimit)
+		m.limitSet = false
+	}
+}
+
+// loop is the sampling goroutine body; ctx bounds it (ctx-aware by
+// construction — see the ctxflow analyzer).
+func (m *MemoryMonitor) loop(ctx context.Context) {
+	tick := time.NewTicker(m.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			m.Sample()
+		}
+	}
+}
+
+// Sample takes one pressure reading and applies transitions. Exposed so
+// tests can drive the ladder synchronously.
+func (m *MemoryMonitor) Sample() {
+	if m.cfg.Limit <= 0 {
+		return
+	}
+	used := float64(m.cfg.ReadUsage())
+	limit := float64(m.cfg.Limit)
+	var next int32 = MemOK
+	switch {
+	case used >= limit*m.cfg.Critical:
+		next = MemCritical
+	case used >= limit*m.cfg.High:
+		next = MemDegraded
+	}
+	prev := m.level.Swap(next)
+	if next > prev && next >= MemDegraded && m.onPressure != nil {
+		m.onPressure(next)
+	}
+}
+
+// Level reports the current pressure level.
+func (m *MemoryMonitor) Level() int32 { return m.level.Load() }

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoryWatermarkLadder(t *testing.T) {
+	var usage atomic.Uint64
+	var pressureCalls atomic.Int32
+	m := NewMemoryMonitor(MemoryConfig{
+		Limit:     1000,
+		High:      0.8,
+		Critical:  0.95,
+		ReadUsage: func() uint64 { return usage.Load() },
+	}, func(int32) { pressureCalls.Add(1) })
+
+	usage.Store(100)
+	m.Sample()
+	if m.Level() != MemOK {
+		t.Fatalf("level at 10%% = %d", m.Level())
+	}
+	usage.Store(850)
+	m.Sample()
+	if m.Level() != MemDegraded {
+		t.Fatalf("level at 85%% = %d, want degraded", m.Level())
+	}
+	if pressureCalls.Load() != 1 {
+		t.Fatalf("pressure callback fired %d times, want 1", pressureCalls.Load())
+	}
+	// Staying degraded must not re-fire the shed callback every sample.
+	m.Sample()
+	if pressureCalls.Load() != 1 {
+		t.Fatal("pressure callback re-fired without a transition")
+	}
+	usage.Store(990)
+	m.Sample()
+	if m.Level() != MemCritical {
+		t.Fatalf("level at 99%% = %d, want critical", m.Level())
+	}
+	if pressureCalls.Load() != 2 {
+		t.Fatalf("pressure callback fired %d times, want 2", pressureCalls.Load())
+	}
+	// Pressure recedes: back to full service, no callback.
+	usage.Store(100)
+	m.Sample()
+	if m.Level() != MemOK {
+		t.Fatalf("level after recovery = %d", m.Level())
+	}
+	if pressureCalls.Load() != 2 {
+		t.Fatal("recovery fired the pressure callback")
+	}
+}
+
+func TestMemoryDisabledWithoutLimit(t *testing.T) {
+	m := NewMemoryMonitor(MemoryConfig{Limit: 0, ReadUsage: func() uint64 { return 1 << 62 }}, nil)
+	m.Sample()
+	if m.Level() != MemOK {
+		t.Fatal("disabled monitor reported pressure")
+	}
+}

@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dylect/internal/harness"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Config scopes the simulations, exactly as the CLI's flags do.
+	Config harness.Config
+	// Jobs bounds concurrent simulations; <=0 means GOMAXPROCS.
+	Jobs int
+	// CellTimeout arms the per-cell watchdog (0 = off). It composes with
+	// request deadlines: the watchdog bounds a single wedged cell, the
+	// deadline bounds the whole request.
+	CellTimeout time.Duration
+	// Retries/RetryBackoff bound per-cell transient retries.
+	Retries      int
+	RetryBackoff time.Duration
+
+	// MaxCost / MaxQueue / PerClient tune admission control (see
+	// NewAdmission for defaults).
+	MaxCost, MaxQueue, PerClient int
+	// Breaker tunes the per-(workload, design) circuit breaker.
+	Breaker BreakerConfig
+	// Memory tunes memory-pressure degradation.
+	Memory MemoryConfig
+
+	// DefaultTimeout applies when a request names none; MaxTimeout clamps
+	// what a request may ask for. Defaults: 2m / 10m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// Now is the clock used for admission and breaker bookkeeping;
+	// nil uses wall time. Tests inject a fake to drive breaker cooldowns.
+	Now func() time.Time
+}
+
+// Server fronts one shared memoizing harness.Runner with the resilient
+// HTTP API. Construct with New, install Handler on a listener, call Start,
+// and Drain before closing the listener.
+type Server struct {
+	opts   Options
+	runner *harness.Runner
+	adm    *Admission
+	brk    *Breaker
+	mem    *MemoryMonitor
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	ready    bool
+	healthy  bool
+	draining bool
+
+	inflight sync.WaitGroup
+	// force is canceled when a drain deadline expires: every in-flight
+	// request's context hangs off it, so a stuck drain degrades to
+	// abandoning waits (partial results) rather than hanging shutdown.
+	force     context.Context
+	forceStop context.CancelFunc
+}
+
+// New builds a Server over a fresh runner for opts.Config. The runner runs
+// in service mode: failed cells are evicted as they settle (the breaker —
+// not the cache — bounds re-attempt storms), and every settlement feeds the
+// breaker.
+func New(opts Options) *Server {
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if opts.DefaultTimeout <= 0 {
+		opts.DefaultTimeout = 2 * time.Minute
+	}
+	if opts.MaxTimeout <= 0 {
+		opts.MaxTimeout = 10 * time.Minute
+	}
+	s := &Server{opts: opts, runner: harness.NewRunner(opts.Config)}
+	s.runner.SetJobs(opts.Jobs)
+	if opts.CellTimeout > 0 {
+		s.runner.SetCellTimeout(opts.CellTimeout)
+	}
+	if opts.Retries > 0 {
+		s.runner.SetRetries(opts.Retries, opts.RetryBackoff)
+	}
+	s.runner.SetEvictFailedCells(true)
+	s.adm = NewAdmission(opts.MaxCost, opts.MaxQueue, opts.PerClient, opts.Now)
+	s.brk = NewBreaker(opts.Breaker, opts.Now)
+	s.runner.SetCellObserver(s.brk.Report)
+	s.mem = NewMemoryMonitor(opts.Memory, func(int32) {
+		// On an upward pressure transition, shed the largest queued
+		// requests first; freeing half the running budget's worth of
+		// queued cost is a meaningful dent without emptying the queue.
+		s.adm.ShedLargest((s.adm.maxCost + 1) / 2)
+	})
+	s.force, s.forceStop = context.WithCancel(context.Background())
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runner exposes the shared runner for tests that assert byte-identity
+// against a direct export.
+func (s *Server) Runner() *harness.Runner { return s.runner }
+
+// Breaker exposes the breaker for tests and stats.
+func (s *Server) Breaker() *Breaker { return s.brk }
+
+// Start marks the server live and launches the memory monitor; ctx bounds
+// the monitor goroutine (it should outlive every request, so pass the
+// process context, not a request's).
+func (s *Server) Start(ctx context.Context) {
+	s.mem.Start(ctx)
+	s.mu.Lock()
+	s.ready = true
+	s.healthy = true
+	s.mu.Unlock()
+}
+
+// Drain executes the shutdown sequence: readiness flips first (load
+// balancers stop routing, new requests get CodeDraining), in-flight
+// requests run to completion — bounded by ctx, after which their waits are
+// force-abandoned so they return partial results — and only then does
+// health flip, telling the process it may close the listener. Returns true
+// when the drain was clean (no request had to be abandoned).
+func (s *Server) Drain(ctx context.Context) bool {
+	s.mu.Lock()
+	s.ready = false
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	clean := true
+	select {
+	case <-done:
+	case <-ctx.Done():
+		clean = false
+		s.forceStop() // abandon in-flight waits; handlers return partials
+		<-done
+	}
+	s.mem.Stop()
+	s.mu.Lock()
+	s.healthy = false
+	s.mu.Unlock()
+	return clean
+}
+
+func (s *Server) isReady() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ok := s.healthy
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "draining complete", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.isReady() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, e := range harness.Experiments() {
+		out = append(out, ExperimentInfo{Name: e.Name, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	running, queued, queuedCost, shed := s.adm.Stats()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Running:     running,
+		Queued:      queued,
+		QueuedCost:  queuedCost,
+		Shed:        shed,
+		Simulations: s.runner.Runs(),
+		Memory:      memLevelName(s.mem.Level()),
+		Breakers:    s.brk.Tripped(),
+		Draining:    draining,
+	})
+}
+
+// handleRun is the request path: validate -> price -> deadline -> admit ->
+// breaker -> execute -> export. Every rejection carries a stable code and,
+// where retrying makes sense, a Retry-After estimate.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !s.isReady() {
+		writeErr(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", 0)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	var req RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "decode request: "+err.Error(), 0)
+		return
+	}
+	if len(req.Experiments) == 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "no experiments requested", 0)
+		return
+	}
+	var exps []harness.Experiment
+	for _, name := range req.Experiments {
+		e, ok := harness.ByName(name)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("unknown experiment %q", name), 0)
+			return
+		}
+		exps = append(exps, e)
+	}
+	if s.mem.Level() >= MemCritical {
+		writeErr(w, http.StatusServiceUnavailable, CodeOverloaded,
+			"refusing work under critical memory pressure", s.mem.cfg.Interval*4)
+		return
+	}
+
+	// The request deadline covers queueing and execution; it propagates
+	// into cell starts and waits through the runner view. A drain
+	// past its grace period force-cancels it via s.force.
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.opts.MaxTimeout {
+			timeout = s.opts.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stopForce := context.AfterFunc(s.force, cancel)
+	defer stopForce()
+
+	// Price the request from its dry-run plan: fresh simulations cost,
+	// cached cells are free.
+	cost := s.runner.FreshCost(exps)
+	release, aerr := s.adm.Acquire(ctx, clientOf(req, r), cost)
+	if aerr != nil {
+		writeErr(w, statusOf(aerr.Code), aerr.Code, aerr.Msg, aerr.RetryAfter)
+		return
+	}
+	defer release()
+
+	classes := classesOf(s.runner.Cfg, exps)
+	if ok, retry := s.brk.AllowAll(classes); !ok {
+		writeErr(w, http.StatusServiceUnavailable, CodeBreakerOpen,
+			"circuit open for a (workload, design) class this request needs", retry)
+		return
+	}
+	// A probe committed above normally settles through the cell observer;
+	// if this request's cells were all cached (nothing fresh to observe),
+	// free the probe slot on exit so the class is not wedged probing.
+	defer s.brk.ReleaseProbes(classes)
+
+	view := s.runner.WithContext(ctx)
+	degraded := s.mem.Level() >= MemDegraded
+	if degraded {
+		// Shed observability before work: interval sampling is the most
+		// memory-proportional optional feature and provably does not
+		// change exported results.
+		view.Cfg.MetricsSamples = 0
+	}
+	outs := harness.RunShared(view, exps)
+
+	resp := RunResponse{Degraded: degraded}
+	for _, out := range outs {
+		er := ExperimentResult{Name: out.Experiment.Name, Title: out.Experiment.Title}
+		if out.Err != nil {
+			resp.Partial = true
+			er.Error = out.Err.Error()
+			er.Code = harness.CellErrorCodeName(out.Err)
+		} else {
+			er.Blocks = out.Blocks
+		}
+		resp.Experiments = append(resp.Experiments, er)
+	}
+	results, err := view.ExportJSONFor(exps)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "export_failed", err.Error(), 0)
+		return
+	}
+	resp.Results = results
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// classesOf returns the deduplicated breaker classes of the experiments'
+// planned cells, sorted.
+func classesOf(cfg harness.Config, exps []harness.Experiment) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range harness.PlanExperiments(cfg, exps) {
+		class := ClassOf(c.Cell)
+		if !seen[class] {
+			seen[class] = true
+			out = append(out, class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clientOf resolves the fairness identity: the self-reported client name,
+// else the remote host.
+func clientOf(req RunRequest, r *http.Request) string {
+	if req.Client != "" {
+		return req.Client
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// statusOf maps admission codes to HTTP statuses.
+func statusOf(code string) int {
+	switch code {
+	case CodeQueueFull, CodeClientLimit, CodeShed:
+		return http.StatusTooManyRequests
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	}
+	return http.StatusServiceUnavailable
+}
+
+// writeErr emits the uniform error body plus a Retry-After header when
+// there is advice to give.
+func writeErr(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(retryAfter.Seconds()))))
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code, RetryAfterSec: retryAfter.Seconds()})
+}
+
+// writeJSON emits compact JSON with HTML escaping off: an embedded
+// json.RawMessage (the run's Results) must keep its tokens byte-exact so the
+// client can restore the canonical export formatting losslessly.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+

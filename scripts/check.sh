@@ -14,6 +14,11 @@
 #   obs      observability smoke: an audited fig18 cell set run with
 #            -metrics-out/-trace-out, artifacts schema-checked with
 #            dylect-plot -validate-only (OBS_DIR keeps the artifacts)
+#   serve    experiment-service smoke: race-mode unit tests for
+#            internal/serve and cmd/dylect-served, then a shell round trip —
+#            boot dylect-served on an ephemeral port, run the client
+#            subcommand against it, SIGTERM, and require a clean drain
+#            (the full chaos soak runs under the race step)
 #   fuzz     10s smoke per fuzz target in ./internal/comp
 #
 # Run a subset with e.g. `scripts/check.sh build lint`. No arguments runs
@@ -23,13 +28,13 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race golden faults obs fuzz)
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race golden faults obs serve fuzz)
 
 for s in "${steps[@]}"; do
 	case "$s" in
-	build | vet | lint | race | golden | faults | obs | fuzz) ;;
+	build | vet | lint | race | golden | faults | obs | serve | fuzz) ;;
 	*)
-		echo "unknown step '$s' (want: build vet lint race golden faults obs fuzz)" >&2
+		echo "unknown step '$s' (want: build vet lint race golden faults obs serve fuzz)" >&2
 		exit 2
 		;;
 	esac
@@ -90,6 +95,46 @@ if want obs; then
 	go run ./cmd/dylect-plot -metrics "$obs_dir/metrics.ndjson" \
 		-trace "$obs_dir/trace.json" -validate-only
 	[ -n "${OBS_DIR:-}" ] || rm -rf "$obs_dir"
+fi
+
+if want serve; then
+	echo "== serve smoke (race units + round trip + graceful drain)"
+	# -short skips the simulation-heavy soak/byte-identity tests; the full
+	# chaos suite runs with everything else under the race step.
+	go test -race -short -count=1 ./internal/serve ./cmd/dylect-served
+
+	serve_dir="$(mktemp -d)"
+	go build -o "$serve_dir/dylect-served" ./cmd/dylect-served
+	serve_log="$serve_dir/server.log"
+	"$serve_dir/dylect-served" -addr 127.0.0.1:0 -quick 2>"$serve_log" &
+	serve_pid=$!
+	addr=""
+	for _ in $(seq 1 100); do
+		addr="$(sed -n 's/.*dylect-served listening on \(.*\)/\1/p' "$serve_log")"
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "dylect-served never printed its address" >&2
+		cat "$serve_log" >&2
+		kill "$serve_pid" 2>/dev/null || true
+		exit 1
+	fi
+	"$serve_dir/dylect-served" client -addr "http://$addr" -exp table3 -client check-sh >/dev/null
+	kill -TERM "$serve_pid"
+	rc=0
+	wait "$serve_pid" || rc=$?
+	if [ "$rc" -ne 0 ]; then
+		echo "dylect-served exited $rc after SIGTERM (want 0)" >&2
+		cat "$serve_log" >&2
+		exit 1
+	fi
+	if ! grep -q "drained cleanly" "$serve_log"; then
+		echo "dylect-served drain was not clean" >&2
+		cat "$serve_log" >&2
+		exit 1
+	fi
+	rm -rf "$serve_dir"
 fi
 
 if want fuzz; then
