@@ -10,7 +10,10 @@
 // is 0 when clean, 1 when findings are reported, 2 on usage or load errors.
 //
 // Findings can be suppressed at the offending line with
-// //lint:ignore <analyzer> <reason> — see internal/analysis.
+// //lint:ignore <analyzer> <reason> — see internal/analysis. The -ignores
+// flag audits the suppressions themselves: it lists every directive and
+// exits 1 if any is malformed, names an unknown analyzer, or is stale
+// (the named analyzer no longer fires on the covered lines).
 package main
 
 import (
@@ -34,6 +37,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable = fs.String("disable", "", "comma-separated analyzers to skip")
 		dir     = fs.String("C", ".", "directory to resolve package patterns in")
+		ignores = fs.Bool("ignores", false, "audit //lint:ignore suppressions: list all, fail on stale or malformed ones")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: dylect-lint [flags] [packages]\n\nAnalyzers:\n")
@@ -62,6 +66,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "dylect-lint: %v\n", err)
 		return 2
+	}
+	if *ignores {
+		uses, findings := analysis.AuditIgnores(prog)
+		if err := writeIgnores(stdout, uses, findings, *jsonOut); err != nil {
+			fmt.Fprintf(stderr, "dylect-lint: %v\n", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
 	}
 	findings := analysis.RunAnalyzers(prog, analyzers)
 	if err := writeFindings(stdout, findings, *jsonOut); err != nil {

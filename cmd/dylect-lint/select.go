@@ -55,6 +55,44 @@ func splitList(s string) []string {
 	return out
 }
 
+// ignoreReport is the JSON shape of the -ignores audit: every suppression
+// in the module plus the findings (stale/malformed/unknown) against them.
+type ignoreReport struct {
+	Suppressions []analysis.IgnoreUse `json:"suppressions"`
+	Findings     []analysis.Finding   `json:"findings"`
+}
+
+// writeIgnores renders the -ignores audit as a listing plus findings, or
+// as one JSON object.
+func writeIgnores(w io.Writer, uses []analysis.IgnoreUse, findings []analysis.Finding, asJSON bool) error {
+	if asJSON {
+		rep := ignoreReport{Suppressions: uses, Findings: findings}
+		if rep.Suppressions == nil {
+			rep.Suppressions = []analysis.IgnoreUse{}
+		}
+		if rep.Findings == nil {
+			rep.Findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if _, err := fmt.Fprintf(w, "%d //lint:ignore suppression(s):\n", len(uses)); err != nil {
+		return err
+	}
+	for _, u := range uses {
+		if _, err := fmt.Fprintf(w, "  %s\n", u); err != nil {
+			return err
+		}
+	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // writeFindings renders findings as text lines or a JSON array.
 func writeFindings(w io.Writer, findings []analysis.Finding, asJSON bool) error {
 	if asJSON {

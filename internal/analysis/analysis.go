@@ -23,10 +23,8 @@ package analysis
 
 import (
 	"fmt"
-	"go/ast"
 	"go/token"
 	"sort"
-	"strings"
 )
 
 // Diagnostic is one finding, positioned by token.Pos inside the Program's
@@ -68,6 +66,9 @@ func All() []*Analyzer {
 		StatCheck(),
 		Exhaustive(),
 		CtxFlow(),
+		ObsPure(),
+		HotAlloc(),
+		DetFlow(),
 	}
 }
 
@@ -81,100 +82,10 @@ func ByName(name string) (*Analyzer, bool) {
 	return nil, false
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
-type ignoreDirective struct {
-	analyzers map[string]bool // nil means malformed
-	line      int             // line the directive applies to
-	pos       token.Pos
-}
-
-const ignorePrefix = "//lint:ignore "
-
-// collectIgnores parses every //lint:ignore directive in the program.
-// A directive on its own line suppresses the next line; a trailing directive
-// suppresses its own line. Malformed directives (no analyzer list or no
-// reason) are returned as framework findings.
-func collectIgnores(prog *Program) (map[string]map[int]map[string]bool, []Finding) {
-	ignores := make(map[string]map[int]map[string]bool) // file -> line -> analyzers
-	var malformed []Finding
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			for _, cg := range file.Comments {
-				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, strings.TrimSpace(ignorePrefix)) {
-						continue
-					}
-					d := parseIgnore(prog.Fset, c)
-					position := prog.Fset.Position(c.Pos())
-					if d.analyzers == nil {
-						malformed = append(malformed, Finding{
-							Analyzer: "lint",
-							Position: position,
-							Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
-						})
-						continue
-					}
-					byLine := ignores[position.Filename]
-					if byLine == nil {
-						byLine = make(map[int]map[string]bool)
-						ignores[position.Filename] = byLine
-					}
-					set := byLine[d.line]
-					if set == nil {
-						set = make(map[string]bool)
-						byLine[d.line] = set
-					}
-					for a := range d.analyzers {
-						set[a] = true
-					}
-				}
-			}
-		}
-	}
-	return ignores, malformed
-}
-
-// parseIgnore parses one directive comment. The directive records its own
-// line; suppression covers that line (trailing placement) and the next
-// (standalone placement) — see suppressed.
-func parseIgnore(fset *token.FileSet, c *ast.Comment) ignoreDirective {
-	position := fset.Position(c.Pos())
-	d := ignoreDirective{pos: c.Pos(), line: position.Line}
-	rest := strings.TrimPrefix(c.Text, strings.TrimSpace(ignorePrefix))
-	rest = strings.TrimSpace(rest)
-	parts := strings.SplitN(rest, " ", 2)
-	if len(parts) < 2 || strings.TrimSpace(parts[1]) == "" {
-		return d // malformed: missing reason
-	}
-	d.analyzers = make(map[string]bool)
-	for _, name := range strings.Split(parts[0], ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			d.analyzers[name] = true
-		}
-	}
-	return d
-}
-
-// suppressed reports whether a finding at the given position is covered by
-// an ignore directive (on the same line, or on the line above).
-func suppressed(ignores map[string]map[int]map[string]bool, f Finding) bool {
-	byLine := ignores[f.Position.Filename]
-	if byLine == nil {
-		return false
-	}
-	for _, line := range []int{f.Position.Line, f.Position.Line - 1} {
-		if set := byLine[line]; set != nil {
-			if set[f.Analyzer] || set["all"] {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // RunAnalyzers runs the given analyzers over the program, resolves
 // positions, filters suppressed findings, and returns the rest sorted by
-// file, line, column, analyzer.
+// file, line, column, analyzer. Malformed //lint:ignore directives and
+// ones naming unknown analyzers are reported alongside (see ignores.go).
 func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Finding {
 	ignores, findings := collectIgnores(prog)
 	for _, a := range analyzers {
@@ -190,6 +101,12 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Finding {
 			findings = append(findings, f)
 		}
 	}
+	sortFindings(findings)
+	return findings
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		switch {
@@ -203,5 +120,4 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Finding {
 			return a.Analyzer < b.Analyzer
 		}
 	})
-	return findings
 }

@@ -24,9 +24,10 @@ const (
 
 type Engine struct{ now Time }
 
-func (e *Engine) Now() Time                    { return e.now }
-func (e *Engine) Schedule(d Time, fn func())   {}
+func (e *Engine) Now() Time                     { return e.now }
+func (e *Engine) Schedule(d Time, fn func())    {}
 func (e *Engine) ScheduleAt(at Time, fn func()) {}
+func (e *Engine) ObserveAt(at Time, fn func())  {}
 `
 
 	fixtureStatsSrc = `package stats

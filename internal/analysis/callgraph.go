@@ -1,0 +1,530 @@
+package analysis
+
+// callgraph.go builds the interprocedural layer shared by the contract
+// analyzers (obspure, hotalloc, detflow): a static callgraph over every
+// function in the module — declared functions, methods, and function
+// literals alike — plus parsing of the //dylect: annotation grammar.
+// writeset.go computes per-node write effects on top of these nodes.
+//
+// Edges are deliberately may-call (over-approximate): a sound contract
+// checker must never miss a path, so
+//
+//   - a direct call adds an edge to its static callee;
+//   - a call through an interface method adds an edge to that method on
+//     every module type whose method set satisfies the interface;
+//   - a function value referenced outside call position (stored in a field,
+//     passed as an argument, assigned to a variable) adds an edge from the
+//     referencing function — wherever the value ends up, it may be invoked;
+//   - passing a module value to an *external* function through a non-empty
+//     interface parameter adds edges to the value's implementations of that
+//     interface (sort.Sort and container/heap drive Len/Less/Swap/Push/Pop
+//     even though their bodies are outside the module).
+//
+// Function literals are first-class nodes (named encloser$N in source
+// order), with a reference edge from their enclosing function. This is what
+// lets obspure root the analysis at the callback passed to engine.ObserveAt
+// rather than at the function that happens to register it.
+//
+// Known holes, accepted for simplicity: calls through empty interfaces
+// (any), reflection, and literals in package-level var initializers.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Node is one function in the callgraph: a declared function/method
+// (Decl/Obj set) or a function literal (Lit/Encloser set).
+type Node struct {
+	Pkg      *Package
+	Decl     *ast.FuncDecl // nil for literals
+	Lit      *ast.FuncLit  // nil for declared functions
+	Obj      *types.Func   // nil for literals
+	Encloser *Node         // enclosing function, for literals
+	Name     string        // display name: pkg.F, (*pkg.T).M, or pkg.F$1
+
+	// Annotations parsed from the doc comment (declared functions only).
+	HotPath      bool // //dylect:hotpath
+	NonDetOK     bool // //dylect:nondet-ok <reason>
+	NonDetReason string
+
+	// Calls holds the outgoing may-call edges, deduplicated, in discovery
+	// order.
+	Calls []*Node
+	// Effects holds the function's direct (non-transitive) write effects.
+	Effects []Effect
+
+	callSet map[*Node]bool
+}
+
+// Body returns the function body.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// Pos returns the function's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Pos()
+}
+
+// span returns the source extent of the whole function, used to decide
+// whether a variable referenced in the body is captured from an encloser.
+func (n *Node) span() (token.Pos, token.Pos) {
+	if n.Lit != nil {
+		return n.Lit.Pos(), n.Lit.End()
+	}
+	return n.Decl.Pos(), n.Decl.End()
+}
+
+// CallGraph is the whole-module static callgraph.
+type CallGraph struct {
+	prog  *Program
+	Nodes []*Node // deterministic order: declaration order, then literals as discovered
+
+	byObj map[*types.Func]*Node
+	byLit map[*ast.FuncLit]*Node
+	named []*types.Named // every named type declared in the module
+
+	implCache map[*types.Func][]*Node
+}
+
+// BuildCallGraph constructs the callgraph and per-node write effects for
+// the whole program.
+func BuildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{
+		prog:      prog,
+		byObj:     make(map[*types.Func]*Node),
+		byLit:     make(map[*ast.FuncLit]*Node),
+		implCache: make(map[*types.Func][]*Node),
+	}
+	for _, pkg := range prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if n := namedType(tn.Type()); n != nil {
+					g.named = append(g.named, n)
+				}
+			}
+		}
+	}
+	// Declared functions first, so node order is stable.
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &Node{
+					Pkg:     pkg,
+					Decl:    fd,
+					Obj:     obj,
+					Name:    declName(obj),
+					callSet: make(map[*Node]bool),
+				}
+				parseAnnotations(n)
+				g.Nodes = append(g.Nodes, n)
+				g.byObj[obj] = n
+			}
+		}
+	}
+	// Walk bodies; literals discovered during a walk are appended to Nodes
+	// and walked in turn (the loop re-reads len each iteration).
+	for i := 0; i < len(g.Nodes); i++ {
+		g.walk(g.Nodes[i])
+	}
+	for _, n := range g.Nodes {
+		n.Effects = collectEffects(g, n)
+	}
+	return g
+}
+
+// Lookup returns the node with the given display name, or nil. When names
+// collide (multiple init functions), the first in node order wins.
+func (g *CallGraph) Lookup(name string) *Node {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// declName renders a declared function's display name: pkg.F for
+// functions, (pkg.T).M or (*pkg.T).M for methods.
+func declName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		ptr := false
+		if p, ok := types.Unalias(rt).(*types.Pointer); ok {
+			ptr = true
+			rt = p.Elem()
+		}
+		tn := "?"
+		if n := namedType(rt); n != nil && n.Obj().Pkg() != nil {
+			tn = n.Obj().Pkg().Name() + "." + n.Obj().Name()
+		}
+		if ptr {
+			return "(*" + tn + ")." + fn.Name()
+		}
+		return "(" + tn + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// addLit creates (or returns) the node for a function literal nested in
+// parent, with a per-parent 1-based index for naming.
+func (g *CallGraph) addLit(parent *Node, lit *ast.FuncLit, index int) *Node {
+	if n, ok := g.byLit[lit]; ok {
+		return n
+	}
+	n := &Node{
+		Pkg:      parent.Pkg,
+		Lit:      lit,
+		Encloser: parent,
+		Name:     parent.Name + "$" + itoa(index),
+		callSet:  make(map[*Node]bool),
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.byLit[lit] = n
+	return n
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// addEdge records a may-call edge, deduplicated.
+func (g *CallGraph) addEdge(from, to *Node) {
+	if to == nil || from.callSet[to] {
+		return
+	}
+	from.callSet[to] = true
+	from.Calls = append(from.Calls, to)
+}
+
+// walk scans one node's body, creating literal child nodes and call/
+// reference edges. Nested literal bodies are not descended into here; each
+// literal is its own node and is walked from the worklist.
+func (g *CallGraph) walk(n *Node) {
+	calleePos := make(map[ast.Node]bool)
+	litIndex := 0
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			litIndex++
+			child := g.addLit(n, x, litIndex)
+			// Creating a literal is a reference: whoever receives the value
+			// may call it. If it is called in place the edge is the same.
+			g.addEdge(n, child)
+			return false
+		case *ast.CallExpr:
+			g.resolveCall(n, x, calleePos)
+		case *ast.Ident:
+			if calleePos[x] {
+				return true
+			}
+			if fn, ok := n.Pkg.Info.Uses[x].(*types.Func); ok {
+				// Function value referenced outside call position: a method
+				// value, a function stored in a field/variable, or a
+				// function passed as an argument.
+				g.funcEdge(n, fn, nil)
+			}
+		}
+		return true
+	})
+}
+
+// resolveCall adds edges for one call expression.
+func (g *CallGraph) resolveCall(n *Node, call *ast.CallExpr, calleePos map[ast.Node]bool) {
+	fun := ast.Unparen(call.Fun)
+	calleePos[fun] = true
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := n.Pkg.Info.Uses[f].(*types.Func); ok {
+			g.funcEdge(n, fn, call)
+		}
+		// Builtins, conversions, and calls through function-typed
+		// variables resolve elsewhere (reference edges cover the latter).
+	case *ast.SelectorExpr:
+		calleePos[f.Sel] = true
+		if sel, ok := n.Pkg.Info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				g.funcEdge(n, fn, call)
+			}
+			return
+		}
+		// Package-qualified call (pkg.F) or method expression (T.M).
+		if fn, ok := n.Pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			g.funcEdge(n, fn, call)
+		}
+	}
+}
+
+// funcEdge adds edges for a use of fn — as a call when call is non-nil, as
+// a bare reference otherwise. Interface methods fan out to every module
+// implementation; external callees are modeled by interface-argument
+// escape.
+func (g *CallGraph) funcEdge(n *Node, fn *types.Func, call *ast.CallExpr) {
+	if isAbstract(fn) {
+		for _, impl := range g.implementers(fn) {
+			g.addEdge(n, impl)
+		}
+		return
+	}
+	if t := g.byObj[fn]; t != nil {
+		g.addEdge(n, t)
+		return
+	}
+	if call != nil {
+		g.externalEscape(n, fn, call)
+	}
+}
+
+// isAbstract reports whether fn is an interface method (no body anywhere;
+// dispatch is dynamic).
+func isAbstract(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// implementers resolves an interface method to the corresponding concrete
+// methods of every module named type satisfying the interface.
+func (g *CallGraph) implementers(fn *types.Func) []*Node {
+	if nodes, ok := g.implCache[fn]; ok {
+		return nodes
+	}
+	var nodes []*Node
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return nil
+	}
+	for _, named := range g.named {
+		if types.IsInterface(named.Underlying()) {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if m := g.concreteMethod(named, fn); m != nil {
+			nodes = append(nodes, m)
+		}
+	}
+	g.implCache[fn] = nodes
+	return nodes
+}
+
+// concreteMethod finds the node for named's implementation of the
+// interface method fn (including promoted methods from embedded types).
+func (g *CallGraph) concreteMethod(named *types.Named, fn *types.Func) *Node {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, fn.Pkg(), fn.Name())
+	if m, ok := obj.(*types.Func); ok {
+		return g.byObj[m]
+	}
+	return nil
+}
+
+// externalEscape models a call to a function outside the module: any
+// argument passed through a non-empty interface parameter may have its
+// interface methods invoked by the callee (sort.Sort, container/heap).
+// Empty interfaces (any) are skipped — following them would wire every
+// fmt call to the whole method set of its arguments.
+func (g *CallGraph) externalEscape(n *Node, fn *types.Func, call *ast.CallExpr) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if s, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		iface, ok := pt.Underlying().(*types.Interface)
+		if !ok || iface.NumMethods() == 0 {
+			continue
+		}
+		at := n.Pkg.Info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		for j := 0; j < iface.NumMethods(); j++ {
+			m := iface.Method(j)
+			obj, _, _ := types.LookupFieldOrMethod(at, true, m.Pkg(), m.Name())
+			if obj == nil {
+				if _, isPtr := at.Underlying().(*types.Pointer); !isPtr {
+					obj, _, _ = types.LookupFieldOrMethod(types.NewPointer(at), true, m.Pkg(), m.Name())
+				}
+			}
+			if mf, ok := obj.(*types.Func); ok {
+				if t := g.byObj[mf]; t != nil {
+					g.addEdge(n, t)
+				}
+			}
+		}
+	}
+}
+
+// Reach is the result of a reachability query: the reached set plus the
+// BFS tree it was discovered through, so diagnostics can print a witness
+// call chain from a root to any reached node.
+type Reach struct {
+	parent map[*Node]*Node // first-discovery edge; roots map to nil
+	order  []*Node         // BFS order
+	member map[*Node]bool
+}
+
+// Reachable computes the set of nodes reachable from the roots.
+func (g *CallGraph) Reachable(roots ...*Node) *Reach {
+	return g.ReachableWhere(nil, roots...)
+}
+
+// ReachableWhere computes reachability but does not traverse *through* (or
+// into) nodes for which skip returns true — the detflow barrier.
+func (g *CallGraph) ReachableWhere(skip func(*Node) bool, roots ...*Node) *Reach {
+	r := &Reach{
+		parent: make(map[*Node]*Node),
+		member: make(map[*Node]bool),
+	}
+	var queue []*Node
+	for _, root := range roots {
+		if root == nil || r.member[root] || (skip != nil && skip(root)) {
+			continue
+		}
+		r.member[root] = true
+		r.parent[root] = nil
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		r.order = append(r.order, n)
+		for _, c := range n.Calls {
+			if r.member[c] || (skip != nil && skip(c)) {
+				continue
+			}
+			r.member[c] = true
+			r.parent[c] = n
+			queue = append(queue, c)
+		}
+	}
+	return r
+}
+
+// Has reports whether n was reached.
+func (r *Reach) Has(n *Node) bool { return r.member[n] }
+
+// Nodes returns the reached nodes in BFS order.
+func (r *Reach) Nodes() []*Node { return r.order }
+
+// Names returns the sorted display names of the reached set (test helper).
+func (r *Reach) Names() []string {
+	names := make([]string, 0, len(r.order))
+	for _, n := range r.order {
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Chain renders the witness call chain from a root to n, e.g.
+// "system.RunE -> (*mc.Base).Access -> (*dram.Controller).Submit". Long
+// chains elide the middle.
+func (r *Reach) Chain(n *Node) string {
+	var names []string
+	for at := n; at != nil; at = r.parent[at] {
+		names = append(names, at.Name)
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	const maxShown = 6
+	if len(names) > maxShown {
+		head := names[:3]
+		tail := names[len(names)-2:]
+		names = append(append(append([]string{}, head...), "..."), tail...)
+	}
+	return strings.Join(names, " -> ")
+}
+
+// Annotation grammar: a //dylect:<verb> directive in a function's doc
+// comment. Verbs: hotpath (hotalloc contract applies) and
+// nondet-ok <reason> (detflow traversal barrier; reason mandatory).
+const (
+	dylectPrefix = "//dylect:"
+	hotPathVerb  = "hotpath"
+	nonDetVerb   = "nondet-ok"
+)
+
+// dylectDirective splits a comment into its //dylect: verb and trailing
+// text, reporting whether the comment is a dylect directive at all.
+func dylectDirective(text string) (verb, rest string, ok bool) {
+	if !strings.HasPrefix(text, dylectPrefix) {
+		return "", "", false
+	}
+	body := strings.TrimPrefix(text, dylectPrefix)
+	verb, rest, _ = strings.Cut(body, " ")
+	return strings.TrimSpace(verb), strings.TrimSpace(rest), true
+}
+
+// parseAnnotations reads the //dylect: directives off a declared
+// function's doc comment. Validation (unknown verbs, misplaced
+// directives, missing reasons) is reported by hotalloc and detflow.
+func parseAnnotations(n *Node) {
+	if n.Decl == nil || n.Decl.Doc == nil {
+		return
+	}
+	for _, c := range n.Decl.Doc.List {
+		verb, rest, ok := dylectDirective(c.Text)
+		if !ok {
+			continue
+		}
+		switch verb {
+		case hotPathVerb:
+			n.HotPath = true
+		case nonDetVerb:
+			n.NonDetOK = true
+			n.NonDetReason = rest
+		}
+	}
+}

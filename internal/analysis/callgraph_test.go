@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// buildGraph loads a single-package fixture and builds its callgraph.
+func buildGraph(t *testing.T, src string, extra ...map[string]map[string]string) *CallGraph {
+	t.Helper()
+	return BuildCallGraph(loadFixture(t, src, extra...))
+}
+
+// reachNames returns the sorted reachable set from the named function,
+// filtered to the sut package's own nodes (fixture engine/stats/metrics
+// helpers are noise for these assertions).
+func reachNames(t *testing.T, g *CallGraph, root string) []string {
+	t.Helper()
+	n := g.Lookup(root)
+	if n == nil {
+		t.Fatalf("no node named %q; have %v", root, allNames(g))
+	}
+	var names []string
+	for _, r := range g.Reachable(n).Nodes() {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func allNames(g *CallGraph) []string {
+	var names []string
+	for _, n := range g.Nodes {
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// effectDescs returns the sorted direct-effect descriptions of a node.
+func effectDescs(t *testing.T, g *CallGraph, name string) []string {
+	t.Helper()
+	n := g.Lookup(name)
+	if n == nil {
+		t.Fatalf("no node named %q; have %v", name, allNames(g))
+	}
+	var descs []string
+	for _, e := range n.Effects {
+		descs = append(descs, e.Desc)
+	}
+	sort.Strings(descs)
+	return descs
+}
+
+func wantStrings(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestCallGraphDirectCallsAndRecursion(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+func a() { b() }
+func b() { c(); b() }
+func c() {}
+func unrelated() {}
+`)
+	wantStrings(t, reachNames(t, g, "sut.a"), []string{"sut.a", "sut.b", "sut.c"})
+	wantStrings(t, reachNames(t, g, "sut.c"), []string{"sut.c"})
+	// Recursion: b reaches itself exactly once.
+	wantStrings(t, reachNames(t, g, "sut.b"), []string{"sut.b", "sut.c"})
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+type walker interface{ Walk() }
+
+type fast struct{}
+func (fast) Walk() {}
+
+type slow struct{ n int }
+func (s *slow) Walk() { s.n++ }
+
+type unrelatedIface interface{ Other() }
+
+func drive(w walker) { w.Walk() }
+`)
+	// A call through the interface fans out to every implementation, and
+	// only to implementations of that interface.
+	wantStrings(t, reachNames(t, g, "sut.drive"),
+		[]string{"(*sut.slow).Walk", "(sut.fast).Walk", "sut.drive"})
+}
+
+func TestCallGraphMethodValues(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+type gen struct{ n int }
+
+func (g *gen) tick() { g.n++ }
+
+func use(fn func()) {}
+
+func wire(g *gen) {
+	use(g.tick) // method value: may be called wherever it lands
+}
+`)
+	wantStrings(t, reachNames(t, g, "sut.wire"),
+		[]string{"(*sut.gen).tick", "sut.use", "sut.wire"})
+}
+
+func TestCallGraphFunctionTypedFields(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+type hooks struct{ done func() }
+
+func onDone() {}
+
+func install(h *hooks) {
+	h.done = onDone // stored in a field: reference edge
+}
+
+func fire(h *hooks) {
+	h.done() // dynamic call: no static callee, covered by install's edge
+}
+`)
+	wantStrings(t, reachNames(t, g, "sut.install"),
+		[]string{"sut.install", "sut.onDone"})
+	// The dynamic call site itself contributes no edge.
+	wantStrings(t, reachNames(t, g, "sut.fire"), []string{"sut.fire"})
+}
+
+func TestCallGraphFunctionLiterals(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+func helper() {}
+
+func spawn() func() {
+	f := func() { helper() }
+	return f
+}
+`)
+	// The literal is its own node, named by its encloser, reference-edged
+	// from it, and its calls are its own.
+	wantStrings(t, reachNames(t, g, "sut.spawn"),
+		[]string{"sut.helper", "sut.spawn", "sut.spawn$1"})
+	wantStrings(t, reachNames(t, g, "sut.spawn$1"),
+		[]string{"sut.helper", "sut.spawn$1"})
+}
+
+func TestCallGraphExternalInterfaceEscape(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+import "sort"
+
+type byAge struct{ ages []int }
+
+func (b byAge) Len() int           { return len(b.ages) }
+func (b byAge) Less(i, j int) bool { return b.ages[i] < b.ages[j] }
+func (b byAge) Swap(i, j int)      { b.ages[i], b.ages[j] = b.ages[j], b.ages[i] }
+
+func order(b byAge) {
+	sort.Sort(b) // external callee drives Len/Less/Swap
+}
+`)
+	wantStrings(t, reachNames(t, g, "sut.order"),
+		[]string{"(sut.byAge).Len", "(sut.byAge).Less", "(sut.byAge).Swap", "sut.order"})
+}
+
+func TestWriteSetReceiverAndParams(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+type Tracker struct {
+	hits  uint64
+	cells []uint64
+}
+
+func (t *Tracker) bump()          { t.hits++ }          // pointer receiver: state
+func (t Tracker) copyBump()       { t.hits++ }          // value receiver: local copy
+func (t Tracker) sharedViaSlice() { t.cells[0] = 1 }    // value receiver, slice hop: state
+func fill(dst []uint64)           { dst[0] = 7 }        // slice param: state
+func rebind(p *Tracker)           { p = nil; _ = p }    // rebinding a param: local
+func store(p *Tracker)            { *p = Tracker{} }    // deref write: state
+`)
+	wantStrings(t, effectDescs(t, g, "(*sut.Tracker).bump"), []string{"state sut.Tracker"})
+	wantStrings(t, effectDescs(t, g, "(sut.Tracker).copyBump"), nil)
+	wantStrings(t, effectDescs(t, g, "(sut.Tracker).sharedViaSlice"), []string{"state sut.Tracker"})
+	wantStrings(t, effectDescs(t, g, "sut.fill"), []string{"state via dst"})
+	wantStrings(t, effectDescs(t, g, "sut.rebind"), nil)
+	wantStrings(t, effectDescs(t, g, "sut.store"), []string{"state sut.Tracker"})
+}
+
+func TestWriteSetGlobalsAndCaptures(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+var counter uint64
+
+func incGlobal() { counter++ }
+
+func capture() func() {
+	local := 0
+	return func() { local++ }
+}
+
+func freshIsLocal() {
+	m := map[int]int{}
+	m[1] = 2
+	s := make([]int, 4)
+	s[0] = 1
+}
+`)
+	wantStrings(t, effectDescs(t, g, "sut.incGlobal"), []string{"global sut.counter"})
+	wantStrings(t, effectDescs(t, g, "sut.capture$1"), []string{"captured local"})
+	wantStrings(t, effectDescs(t, g, "sut.freshIsLocal"), nil)
+}
+
+func TestWriteSetAliasTracking(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+type unit struct{ level int }
+
+type Base struct{ units []unit }
+
+func (b *Base) promote(u int) {
+	st := &b.units[u] // alias of receiver state
+	st.level = 2
+}
+
+func (b *Base) inspect(u int) int {
+	st := b.units[u] // copy: the aliasing link is broken
+	st.level = 9
+	return st.level
+}
+
+func (b *Base) viaRange() {
+	for _, ws := range [][]int{} {
+		ws = append(ws, 1)
+		_ = ws
+	}
+}
+
+func (b *Base) sortsOwnState() {
+	order := b.units // slice header copy still aliases the backing array
+	order[0] = unit{}
+}
+`)
+	wantStrings(t, effectDescs(t, g, "(*sut.Base).promote"), []string{"state sut.Base"})
+	wantStrings(t, effectDescs(t, g, "(*sut.Base).inspect"), nil)
+	wantStrings(t, effectDescs(t, g, "(*sut.Base).viaRange"), nil)
+	wantStrings(t, effectDescs(t, g, "(*sut.Base).sortsOwnState"), []string{"state sut.Base"})
+}
+
+func TestWriteSetExternalMutators(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+import "sort"
+
+type Base struct{ order []int }
+
+func (b *Base) sortInPlace() {
+	sort.Ints(b.order) // state handed to an in-place external mutator
+}
+
+func (b *Base) sortCopy() {
+	cp := make([]int, len(b.order))
+	copy(cp, b.order)
+	sort.Ints(cp) // fresh slice: order-safe
+}
+`)
+	wantStrings(t, effectDescs(t, g, "(*sut.Base).sortInPlace"),
+		[]string{"state sut.Base via sort.Ints"})
+	wantStrings(t, effectDescs(t, g, "(*sut.Base).sortCopy"), nil)
+}
+
+func TestCallGraphAnnotations(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+// hot is the inner loop.
+//
+//dylect:hotpath
+func hot() {}
+
+// quarantined reads the wall clock on purpose.
+//
+//dylect:nondet-ok profiling only, never feeds exports
+func quarantined() {}
+
+func plain() {}
+`)
+	if n := g.Lookup("sut.hot"); n == nil || !n.HotPath {
+		t.Errorf("sut.hot not annotated hotpath: %+v", n)
+	}
+	n := g.Lookup("sut.quarantined")
+	if n == nil || !n.NonDetOK || n.NonDetReason != "profiling only, never feeds exports" {
+		t.Errorf("sut.quarantined annotation wrong: %+v", n)
+	}
+	if n := g.Lookup("sut.plain"); n.HotPath || n.NonDetOK {
+		t.Errorf("sut.plain picked up annotations: %+v", n)
+	}
+}
+
+func TestReachChainRendering(t *testing.T) {
+	g := buildGraph(t, `package sut
+
+func a() { b() }
+func b() { c() }
+func c() {}
+`)
+	reach := g.Reachable(g.Lookup("sut.a"))
+	if got := reach.Chain(g.Lookup("sut.c")); got != "sut.a -> sut.b -> sut.c" {
+		t.Errorf("chain = %q", got)
+	}
+}

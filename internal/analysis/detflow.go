@@ -1,0 +1,153 @@
+package analysis
+
+// DetFlow is the interprocedural upgrade of the lexical determinism
+// analyzer: non-deterministic constructs are forbidden anywhere *reachable
+// from* the simulation and export entry points, not just lexically inside
+// internal/ files. Roots are
+//
+//   - system.Run / system.RunE (one simulated cell, end to end);
+//   - the Export* surface of internal/harness (byte-identical artifacts
+//     are the repo's determinism oracle).
+//
+// Forbidden in the reachable zone: time.Now/time.Since (wall clock),
+// global math/rand (process-global source; seeded constructors are fine),
+// goroutine spawns (scheduling order leaks into event order), and
+// map-range loops feeding ordered output (same check as the determinism
+// analyzer, but applied to everything the roots can reach).
+//
+// The quarantined profile-export path reads wall-clock durations by
+// design; it is excluded with a //dylect:nondet-ok <reason> doc directive,
+// which acts as a traversal barrier: the annotated function and everything
+// reachable only through it are exempt. The reason is mandatory — an
+// unexplained barrier is itself a finding.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetFlow returns the interprocedural determinism analyzer.
+func DetFlow() *Analyzer {
+	return &Analyzer{
+		Name: "detflow",
+		Doc:  "forbid wall-clock, global rand, goroutines, and unsorted map iteration anywhere reachable from simulation/export entry points",
+		Run:  runDetFlow,
+	}
+}
+
+func runDetFlow(prog *Program) []Diagnostic {
+	g := BuildCallGraph(prog)
+	var diags []Diagnostic
+	// Barrier annotations must carry a reason.
+	for _, n := range g.Nodes {
+		if n.NonDetOK && n.NonDetReason == "" {
+			diags = append(diags, Diagnostic{
+				Pos:     n.Pos(),
+				Message: fmt.Sprintf("//dylect:nondet-ok on %s has no reason: write //dylect:nondet-ok <why this path may be non-deterministic>", n.Name),
+			})
+		}
+	}
+	roots := detRoots(g)
+	if len(roots) == 0 {
+		return diags
+	}
+	reach := g.ReachableWhere(func(n *Node) bool { return n.NonDetOK }, roots...)
+	reported := make(map[token.Pos]bool)
+	for _, n := range reach.Nodes() {
+		if isTestFile(prog.Fset.Position(n.Pos()).Filename) {
+			continue
+		}
+		for _, d := range scanDetNode(n) {
+			if reported[d.Pos] {
+				continue
+			}
+			reported[d.Pos] = true
+			d.Message += fmt.Sprintf(" [reached via %s]", reach.Chain(n))
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+// detRoots collects the deterministic-zone entry points: system.Run/RunE
+// and the harness Export* surface.
+func detRoots(g *CallGraph) []*Node {
+	var roots []*Node
+	for _, n := range g.Nodes {
+		if n.Obj == nil {
+			continue
+		}
+		name := n.Obj.Name()
+		switch {
+		case (name == "Run" || name == "RunE") && fromPkg(n.Obj, "internal/system"):
+			roots = append(roots, n)
+		case strings.HasPrefix(name, "Export") && fromPkg(n.Obj, "internal/harness"):
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// scanDetNode flags the non-deterministic constructs lexically inside one
+// node's body. Nested function literals are separate nodes: if reachable
+// they are scanned on their own, and if not (never referenced on a
+// reachable path) they are exempt, so their subtrees are skipped here.
+func scanDetNode(n *Node) []Diagnostic {
+	var diags []Diagnostic
+	var litSpans [][2]token.Pos
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			litSpans = append(litSpans, [2]token.Pos{x.Pos(), x.End()})
+			return false
+		case *ast.GoStmt:
+			diags = append(diags, Diagnostic{
+				Pos:     x.Pos(),
+				Message: fmt.Sprintf("goroutine spawned in %s inside the deterministic zone: scheduling order would leak into event order; simulation is single-threaded by design", n.Name),
+			})
+		case *ast.CallExpr:
+			obj := calleeOf(n.Pkg.Info, x)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" || obj.Name() == "Since" {
+					diags = append(diags, Diagnostic{
+						Pos:     x.Pos(),
+						Message: fmt.Sprintf("time.%s in %s inside the deterministic zone: wall clock breaks byte-identical exports; use engine simulated time, or quarantine with //dylect:nondet-ok", obj.Name(), n.Name),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := obj.(*types.Func); isFunc && obj.Parent() == obj.Pkg().Scope() &&
+					!globalRandAllowed[obj.Name()] {
+					diags = append(diags, Diagnostic{
+						Pos:     x.Pos(),
+						Message: fmt.Sprintf("global rand.%s in %s inside the deterministic zone: the process-global source is unseeded; use a per-component rand.New(rand.NewSource(seed))", obj.Name(), n.Name),
+					})
+				}
+			}
+		}
+		return true
+	})
+	// Map-range checks reuse the determinism analyzer's sorted-after
+	// recognition, then drop hits inside nested literals (their own scan
+	// covers them when reachable).
+	for _, d := range checkMapRanges(n.Pkg, n.Body()) {
+		inLit := false
+		for _, span := range litSpans {
+			if d.Pos >= span[0] && d.Pos < span[1] {
+				inLit = true
+				break
+			}
+		}
+		if !inLit {
+			d.Message = fmt.Sprintf("%s (in %s, inside the deterministic zone)", d.Message, n.Name)
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// systemPkg wraps the fixture entry point: a RunE in a package with the
+// internal/system suffix, calling into the sut package.
+func systemPkg(body string) map[string]map[string]string {
+	return map[string]map[string]string{
+		"fix/internal/system": {"run.go": `package system
+
+import "fix/internal/sut"
+
+func RunE() error {
+` + body + `
+	return nil
+}
+`},
+	}
+}
+
+func TestDetFlowWallClockReachable(t *testing.T) {
+	src := `package sut
+
+import "time"
+
+func Simulate() { step() }
+
+func step() { stamp() }
+
+func stamp() { _ = time.Now() }
+`
+	findings := runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()")), DetFlow())
+	wantFinding(t, findings, "time.Now", "deterministic zone", "reached via system.RunE -> sut.Simulate -> sut.step -> sut.stamp")
+}
+
+func TestDetFlowUnreachableIsExempt(t *testing.T) {
+	// The lexical determinism analyzer flags any time.Now under internal/;
+	// detflow only cares about what the entry points can reach.
+	src := `package sut
+
+import "time"
+
+func Simulate() {}
+
+func debugOnly() { _ = time.Now() }
+`
+	wantClean(t, runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()")), DetFlow()))
+}
+
+func TestDetFlowNonDetOKBarrier(t *testing.T) {
+	src := `package sut
+
+import "time"
+
+func Simulate() {
+	profile()
+}
+
+// profile reads the wall clock by design.
+//
+//dylect:nondet-ok wall-clock profiling is quarantined and never feeds exports
+func profile() { _ = time.Now() }
+`
+	wantClean(t, runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()")), DetFlow()))
+}
+
+func TestDetFlowNonDetOKNeedsReason(t *testing.T) {
+	src := `package sut
+
+import "time"
+
+func Simulate() { profile() }
+
+// profile reads the wall clock by design.
+//
+//dylect:nondet-ok
+func profile() { _ = time.Now() }
+`
+	findings := runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()")), DetFlow())
+	wantFinding(t, findings, "no reason", "sut.profile")
+}
+
+func TestDetFlowGoroutineReachable(t *testing.T) {
+	src := `package sut
+
+func Simulate() { fanOut() }
+
+func fanOut() {
+	go worker()
+}
+
+func worker() {}
+`
+	findings := runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()")), DetFlow())
+	wantFinding(t, findings, "goroutine", "sut.fanOut", "deterministic zone")
+}
+
+func TestDetFlowGlobalRandReachable(t *testing.T) {
+	src := `package sut
+
+import "math/rand"
+
+func Simulate() { _ = rand.Intn(8) }
+`
+	findings := runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()")), DetFlow())
+	wantFinding(t, findings, "global rand.Intn", "deterministic zone")
+}
+
+func TestDetFlowSeededRandClean(t *testing.T) {
+	src := `package sut
+
+import "math/rand"
+
+type gen struct{ r *rand.Rand }
+
+func Simulate() {
+	g := gen{r: rand.New(rand.NewSource(7))}
+	_ = g.r.Intn(8)
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()")), DetFlow()))
+}
+
+func TestDetFlowExportRootMapRange(t *testing.T) {
+	harness := map[string]map[string]string{
+		"fix/internal/harness": {"export.go": `package harness
+
+type frame struct{ cells map[string]int }
+
+func ExportJSON(f *frame) []string {
+	var keys []string
+	for k := range f.cells {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`},
+	}
+	findings := runOn(t, loadFixture(t, "package sut", harness), DetFlow())
+	wantFinding(t, findings, "range over map", "harness.ExportJSON")
+}
+
+func TestDetFlowExportSortedMapRangeClean(t *testing.T) {
+	harness := map[string]map[string]string{
+		"fix/internal/harness": {"export.go": `package harness
+
+import "sort"
+
+type frame struct{ cells map[string]int }
+
+func ExportJSON(f *frame) []string {
+	var keys []string
+	for k := range f.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`},
+	}
+	wantClean(t, runOn(t, loadFixture(t, "package sut", harness), DetFlow()))
+}
+
+func TestDetFlowChainInMessage(t *testing.T) {
+	src := `package sut
+
+import "time"
+
+func Simulate() { _ = time.Now() }
+`
+	findings := runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()")), DetFlow())
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "[reached via ") {
+		t.Fatalf("want one finding with a witness chain, got %v", findings)
+	}
+}

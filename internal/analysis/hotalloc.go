@@ -1,0 +1,292 @@
+package analysis
+
+// HotAlloc is the hot-path allocation contract: a function whose doc
+// comment carries //dylect:hotpath must not contain heap-allocating
+// constructs. The simulator's inner loops — engine event dispatch, the
+// DRAM timing loop, the mc translation lookups — run once per simulated
+// memory reference; a single allocation there turns a sweep from minutes
+// into GC-bound hours, and won optimizations silently rot without a gate.
+//
+// Flagged constructs: function literals (closure allocation), map/slice
+// composite literals, &T{} heap composites, make/new, append (may grow),
+// string concatenation, fmt calls, and interface boxing of values that are
+// not pointer-shaped (storing a non-pointer in an interface allocates).
+// Arguments of panic(...) are exempt — panics are the failure path.
+//
+// HotAlloc also owns //dylect: annotation grammar validation: unknown
+// verbs and directives outside a function doc comment are reported here.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc returns the hot-path allocation analyzer.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "functions annotated //dylect:hotpath must be free of heap-allocating constructs",
+		Run:  runHotAlloc,
+	}
+}
+
+func runHotAlloc(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		docComments := make(map[*ast.Comment]bool)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					docComments[c] = true
+				}
+			}
+			if fd.Body != nil && hasHotPath(fd) {
+				diags = append(diags, scanHot(pkg, fd)...)
+			}
+		}
+		diags = append(diags, validateDirectives(file, docComments)...)
+	})
+	return diags
+}
+
+// hasHotPath reports whether the declaration carries //dylect:hotpath.
+func hasHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if verb, _, ok := dylectDirective(c.Text); ok && verb == hotPathVerb {
+			return true
+		}
+	}
+	return false
+}
+
+// validateDirectives checks //dylect: grammar: the verb must be known and
+// the directive must sit in a function's doc comment.
+func validateDirectives(file *ast.File, docComments map[*ast.Comment]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			verb, _, ok := dylectDirective(c.Text)
+			if !ok {
+				continue
+			}
+			if verb != hotPathVerb && verb != nonDetVerb {
+				diags = append(diags, Diagnostic{
+					Pos:     c.Pos(),
+					Message: fmt.Sprintf("unknown //dylect: verb %q (want %s or %s)", verb, hotPathVerb, nonDetVerb),
+				})
+				continue
+			}
+			if !docComments[c] {
+				diags = append(diags, Diagnostic{
+					Pos:     c.Pos(),
+					Message: fmt.Sprintf("misplaced //dylect:%s directive: it must be part of a function's doc comment to take effect", verb),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// scanHot flags every allocating construct in one annotated function.
+// Nested function literals are flagged once (the closure itself allocates)
+// and not descended into.
+func scanHot(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(pos token.Pos, what, fix string) {
+		diags = append(diags, Diagnostic{
+			Pos:     pos,
+			Message: fmt.Sprintf("%s in //dylect:hotpath function %s: %s", what, funcDeclName(fd), fix),
+		})
+	}
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			flag(x.Pos(), "function literal", "closures allocate; hoist the function to a method or package level and pass state explicitly")
+			return false
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				flag(x.Pos(), "map literal", "allocate the map once at construction time and reuse it")
+			case *types.Slice:
+				flag(x.Pos(), "slice literal", "allocate the backing slice once at construction time and reuse it")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					flag(cl.Pos(), "heap composite literal (&T{...})", "reuse a pooled or preallocated value instead of allocating per event")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(pkg.Info.TypeOf(x)) {
+				flag(x.Pos(), "string concatenation", "build strings outside the hot path, or index into precomputed tables")
+			}
+		case *ast.AssignStmt:
+			diags = append(diags, scanHotAssign(pkg, fd, x)...)
+		case *ast.CallExpr:
+			if isPanicCall(pkg.Info, x) {
+				return false // failure path: formatting a panic message is fine
+			}
+			diags = append(diags, scanHotCall(pkg, fd, x, flag)...)
+		}
+		return true
+	})
+	return diags
+}
+
+// scanHotAssign flags string += and interface boxing through assignment.
+func scanHotAssign(pkg *Package, fd *ast.FuncDecl, a *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	if a.Tok == token.ADD_ASSIGN && len(a.Lhs) == 1 && isStringType(pkg.Info.TypeOf(a.Lhs[0])) {
+		diags = append(diags, Diagnostic{
+			Pos:     a.Pos(),
+			Message: fmt.Sprintf("string concatenation in //dylect:hotpath function %s: build strings outside the hot path", funcDeclName(fd)),
+		})
+	}
+	if len(a.Lhs) == len(a.Rhs) {
+		for i := range a.Lhs {
+			lt := pkg.Info.TypeOf(a.Lhs[i])
+			if d := boxingDiag(pkg, fd, lt, a.Rhs[i]); d != nil {
+				diags = append(diags, *d)
+			}
+		}
+	}
+	return diags
+}
+
+// scanHotCall flags make/new, append, fmt calls, and interface boxing at
+// argument positions.
+func scanHotCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, flag func(token.Pos, string, string)) []Diagnostic {
+	var diags []Diagnostic
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call.Pos(), "make", "allocate once at construction time and reuse")
+			case "new":
+				flag(call.Pos(), "new", "allocate once at construction time and reuse")
+			case "append":
+				flag(call.Pos(), "append", "growth reallocates; preallocate with capacity at construction time or use a fixed ring")
+			}
+			return diags
+		}
+	}
+	// Conversion to an interface type: T(x) where T is an interface.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if d := boxingDiag(pkg, fd, tv.Type, call.Args[0]); d != nil {
+			diags = append(diags, *d)
+		}
+		return diags
+	}
+	obj := calleeOf(pkg.Info, call)
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		flag(call.Pos(), "fmt."+obj.Name()+" call", "fmt formats through reflection and allocates; move formatting off the hot path")
+		return diags
+	}
+	// Boxing at parameter positions.
+	fn, _ := obj.(*types.Func)
+	if fn == nil {
+		return diags
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return diags
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if s, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if d := boxingDiag(pkg, fd, pt, arg); d != nil {
+			diags = append(diags, *d)
+		}
+	}
+	return diags
+}
+
+// boxingDiag reports interface boxing: storing a concrete value that is
+// not pointer-shaped into an interface allocates.
+func boxingDiag(pkg *Package, fd *ast.FuncDecl, target types.Type, value ast.Expr) *Diagnostic {
+	if target == nil {
+		return nil
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return nil
+	}
+	vt := pkg.Info.TypeOf(value)
+	if vt == nil || boxesFree(vt) {
+		return nil
+	}
+	return &Diagnostic{
+		Pos: value.Pos(),
+		Message: fmt.Sprintf(
+			"interface boxing of %s in //dylect:hotpath function %s: storing a non-pointer value in an interface allocates; pass a pointer or avoid the interface",
+			vt.String(), funcDeclName(fd)),
+	}
+}
+
+// boxesFree reports whether storing a value of type t in an interface
+// avoids allocation: pointer-shaped values share their word, and a value
+// already in an interface is not re-boxed.
+func boxesFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// funcDeclName renders a declared function for diagnostics: F, (T).M, or
+// (*T).M.
+func funcDeclName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	star := ""
+	if s, ok := recv.(*ast.StarExpr); ok {
+		star = "*"
+		recv = s.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return "(" + star + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// hotFixture wraps a function body in a //dylect:hotpath-annotated
+// function with the given signature preamble.
+func hotFixture(body string) string {
+	return `package sut
+
+// hot is the fixture inner loop.
+//
+//dylect:hotpath
+func hot(n int, buf []uint64) uint64 {
+` + body + `
+}
+`
+}
+
+func runHot(t *testing.T, src string) []Finding {
+	t.Helper()
+	return runOn(t, loadFixture(t, src), HotAlloc())
+}
+
+func TestHotAllocConstructs(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"closure", `f := func() uint64 { return 1 }; return f()`, "function literal"},
+		{"map literal", `m := map[int]int{1: 2}; return uint64(m[1])`, "map literal"},
+		{"slice literal", `s := []uint64{1, 2}; return s[0]`, "slice literal"},
+		{"heap composite", `type box struct{ v uint64 }
+	b := &box{v: 3}
+	return b.v`, "heap composite literal"},
+		{"make", `s := make([]uint64, n); return s[0]`, "make"},
+		{"new", `p := new(uint64); return *p`, "new"},
+		{"append", `buf = append(buf, 1); return buf[0]`, "append"},
+		{"string concat", `s := "a" + "b"; return uint64(len(s))`, "string concatenation"},
+		{"fmt call", `_ = fmt.Sprintf("%d", n); return 0`, "fmt.Sprintf call"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := hotFixture("\t" + tc.body)
+			if strings.Contains(tc.body, "fmt.") {
+				src = strings.Replace(src, "package sut\n", "package sut\n\nimport \"fmt\"\n", 1)
+			}
+			findings := runHot(t, src)
+			if len(findings) == 0 {
+				t.Fatalf("want a finding mentioning %q, got none", tc.want)
+			}
+			found := false
+			for _, f := range findings {
+				if strings.Contains(f.Message, tc.want) && strings.Contains(f.Message, "hot") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no finding mentions %q: %v", tc.want, findings)
+			}
+		})
+	}
+}
+
+func TestHotAllocInterfaceBoxing(t *testing.T) {
+	src := `package sut
+
+type vals struct{ a, b uint64 }
+
+func sink(v interface{})  {}
+func psink(v interface{}) {}
+
+// hot boxes a struct into an interface parameter.
+//
+//dylect:hotpath
+func hot(v vals) {
+	sink(v)    // non-pointer value: boxing allocates
+	psink(&v)  // pointer: shares its word, no allocation
+}
+`
+	findings := runOn(t, loadFixture(t, src), HotAlloc())
+	wantFinding(t, findings, "interface boxing", "sut.vals")
+}
+
+func TestHotAllocBoxingViaAssignment(t *testing.T) {
+	src := `package sut
+
+type vals struct{ a uint64 }
+
+// hot stores a value in an interface-typed variable.
+//
+//dylect:hotpath
+func hot(v vals) {
+	var i interface{}
+	i = v
+	_ = i
+}
+`
+	findings := runOn(t, loadFixture(t, src), HotAlloc())
+	wantFinding(t, findings, "interface boxing")
+}
+
+func TestHotAllocPanicPathExempt(t *testing.T) {
+	src := `package sut
+
+import "fmt"
+
+// hot panics on impossible input; formatting the message is fine.
+//
+//dylect:hotpath
+func hot(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n))
+	}
+	return n * 2
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), HotAlloc()))
+}
+
+func TestHotAllocUnannotatedExempt(t *testing.T) {
+	src := `package sut
+
+func cold() []uint64 {
+	return append(make([]uint64, 0), 1)
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), HotAlloc()))
+}
+
+func TestHotAllocCleanHotFunction(t *testing.T) {
+	src := `package sut
+
+type ring struct {
+	slots []uint64
+	head  int
+}
+
+// hot is a genuinely allocation-free inner loop.
+//
+//dylect:hotpath
+func (r *ring) hot(v uint64) uint64 {
+	r.slots[r.head] = v
+	r.head++
+	if r.head == len(r.slots) {
+		r.head = 0
+	}
+	return r.slots[0] >> 3
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), HotAlloc()))
+}
+
+func TestHotAllocUnknownVerb(t *testing.T) {
+	src := `package sut
+
+// f has a typo'd directive.
+//
+//dylect:hotpaths everything
+func f() {}
+`
+	findings := runOn(t, loadFixture(t, src), HotAlloc())
+	wantFinding(t, findings, "unknown //dylect: verb", "hotpaths")
+}
+
+func TestHotAllocMisplacedDirective(t *testing.T) {
+	src := `package sut
+
+func f() {
+	//dylect:hotpath
+	_ = 1
+}
+`
+	findings := runOn(t, loadFixture(t, src), HotAlloc())
+	wantFinding(t, findings, "misplaced", "doc comment")
+}
+
+func TestHotAllocSuppressible(t *testing.T) {
+	src := `package sut
+
+// hot keeps one justified append.
+//
+//dylect:hotpath
+func hot(buf []uint64) []uint64 {
+	//lint:ignore hotalloc fixture: capacity is preallocated by the caller
+	return append(buf, 1)
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src), HotAlloc()))
+}

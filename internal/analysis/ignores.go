@@ -1,0 +1,255 @@
+package analysis
+
+// ignores.go owns the //lint:ignore suppression machinery: parsing the
+// directives, filtering findings in RunAnalyzers, and the audit mode
+// behind `dylect-lint -ignores`. A suppression must name existing
+// analyzers and give a reason; the audit additionally flags *stale*
+// directives — ones whose named analyzer no longer fires on the covered
+// lines — so suppressions cannot outlive the code smell they excused.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore "
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers []string // nil means malformed (missing list or reason)
+	reason    string
+	line      int // the directive's own line; it covers this line and the next
+	pos       token.Pos
+	position  token.Position
+}
+
+// parseIgnore parses one directive comment.
+func parseIgnore(fset *token.FileSet, c *ast.Comment) ignoreDirective {
+	position := fset.Position(c.Pos())
+	d := ignoreDirective{pos: c.Pos(), line: position.Line, position: position}
+	rest := strings.TrimPrefix(c.Text, strings.TrimSpace(ignorePrefix))
+	rest = strings.TrimSpace(rest)
+	parts := strings.SplitN(rest, " ", 2)
+	if len(parts) < 2 || strings.TrimSpace(parts[1]) == "" {
+		return d // malformed: missing reason
+	}
+	for _, name := range strings.Split(parts[0], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			d.analyzers = append(d.analyzers, name)
+		}
+	}
+	if len(d.analyzers) > 0 {
+		d.reason = strings.TrimSpace(parts[1])
+	}
+	return d
+}
+
+// collectDirectives parses every //lint:ignore directive, in position
+// order.
+func collectDirectives(prog *Program) []ignoreDirective {
+	var dirs []ignoreDirective
+	eachFile(prog, func(pkg *Package, file *ast.File) {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, strings.TrimSpace(ignorePrefix)) {
+					continue
+				}
+				dirs = append(dirs, parseIgnore(prog.Fset, c))
+			}
+		}
+	})
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].pos < dirs[j].pos })
+	return dirs
+}
+
+// unknownNames returns the directive's analyzer names that match no
+// registered analyzer (and are not the "all" wildcard).
+func (d *ignoreDirective) unknownNames() []string {
+	var unknown []string
+	for _, name := range d.analyzers {
+		if name == "all" {
+			continue
+		}
+		if _, ok := ByName(name); !ok {
+			unknown = append(unknown, name)
+		}
+	}
+	return unknown
+}
+
+// directiveFindings validates directives: malformed ones and ones naming
+// analyzers that do not exist are framework findings (analyzer "lint").
+func directiveFindings(dirs []ignoreDirective) []Finding {
+	var findings []Finding
+	for _, d := range dirs {
+		if d.analyzers == nil {
+			findings = append(findings, Finding{
+				Analyzer: "lint",
+				Position: d.position,
+				Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+			})
+			continue
+		}
+		for _, name := range d.unknownNames() {
+			findings = append(findings, Finding{
+				Analyzer: "lint",
+				Position: d.position,
+				Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q: suppressions must name a registered analyzer (see dylect-lint -list) or \"all\"", name),
+			})
+		}
+	}
+	return findings
+}
+
+// collectIgnores parses every //lint:ignore directive in the program into
+// the file -> line -> analyzer suppression map RunAnalyzers filters with.
+// A directive on its own line suppresses the next line; a trailing
+// directive suppresses its own line. Malformed directives and unknown
+// analyzer names are returned as framework findings.
+func collectIgnores(prog *Program) (map[string]map[int]map[string]bool, []Finding) {
+	dirs := collectDirectives(prog)
+	ignores := make(map[string]map[int]map[string]bool)
+	for _, d := range dirs {
+		if d.analyzers == nil {
+			continue
+		}
+		byLine := ignores[d.position.Filename]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			ignores[d.position.Filename] = byLine
+		}
+		set := byLine[d.line]
+		if set == nil {
+			set = make(map[string]bool)
+			byLine[d.line] = set
+		}
+		for _, a := range d.analyzers {
+			set[a] = true
+		}
+	}
+	return ignores, directiveFindings(dirs)
+}
+
+// suppressed reports whether a finding at the given position is covered by
+// an ignore directive (on the same line, or on the line above).
+func suppressed(ignores map[string]map[int]map[string]bool, f Finding) bool {
+	byLine := ignores[f.Position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{f.Position.Line, f.Position.Line - 1} {
+		if set := byLine[line]; set != nil {
+			if set[f.Analyzer] || set["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IgnoreUse describes one //lint:ignore directive for the -ignores audit.
+type IgnoreUse struct {
+	Position  token.Position `json:"position"`
+	Analyzers []string       `json:"analyzers,omitempty"`
+	Reason    string         `json:"reason,omitempty"`
+	// Stale lists the named analyzers that no longer fire on the lines the
+	// directive covers — the suppression has outlived its finding.
+	Stale []string `json:"stale,omitempty"`
+	// Malformed marks directives that could not be parsed at all.
+	Malformed bool `json:"malformed,omitempty"`
+}
+
+// String renders one suppression for the audit listing.
+func (u IgnoreUse) String() string {
+	if u.Malformed {
+		return fmt.Sprintf("%s: <malformed> ", u.Position)
+	}
+	s := fmt.Sprintf("%s: %s — %s", u.Position, strings.Join(u.Analyzers, ","), u.Reason)
+	if len(u.Stale) > 0 {
+		s += fmt.Sprintf(" [STALE: %s]", strings.Join(u.Stale, ","))
+	}
+	return s
+}
+
+// AuditIgnores lists every //lint:ignore directive in the program and
+// flags the problematic ones as findings: malformed directives, unknown
+// analyzer names, and stale suppressions (the named analyzer produces no
+// finding on the covered lines when the whole suite runs unsuppressed).
+func AuditIgnores(prog *Program) ([]IgnoreUse, []Finding) {
+	dirs := collectDirectives(prog)
+	findings := directiveFindings(dirs)
+
+	// Raw (unsuppressed) findings from the full suite, bucketed by
+	// file/line/analyzer.
+	fired := make(map[string]map[int]map[string]bool)
+	for _, a := range All() {
+		for _, d := range a.Run(prog) {
+			p := prog.Fset.Position(d.Pos)
+			byLine := fired[p.Filename]
+			if byLine == nil {
+				byLine = make(map[int]map[string]bool)
+				fired[p.Filename] = byLine
+			}
+			set := byLine[p.Line]
+			if set == nil {
+				set = make(map[string]bool)
+				byLine[p.Line] = set
+			}
+			set[a.Name] = true
+		}
+	}
+
+	firesOn := func(file string, line int, name string) bool {
+		for _, ln := range []int{line, line + 1} {
+			set := fired[file][ln]
+			if set == nil {
+				continue
+			}
+			if name == "all" {
+				if len(set) > 0 {
+					return true
+				}
+				continue
+			}
+			if set[name] {
+				return true
+			}
+		}
+		return false
+	}
+
+	uses := make([]IgnoreUse, 0, len(dirs))
+	for _, d := range dirs {
+		use := IgnoreUse{
+			Position:  d.position,
+			Analyzers: d.analyzers,
+			Reason:    d.reason,
+			Malformed: d.analyzers == nil,
+		}
+		if !use.Malformed {
+			unknown := make(map[string]bool)
+			for _, name := range d.unknownNames() {
+				unknown[name] = true
+			}
+			for _, name := range d.analyzers {
+				if unknown[name] {
+					continue // already reported as unknown; staleness is moot
+				}
+				if !firesOn(d.position.Filename, d.line, name) {
+					use.Stale = append(use.Stale, name)
+					findings = append(findings, Finding{
+						Analyzer: "lint",
+						Position: d.position,
+						Message:  fmt.Sprintf("stale //lint:ignore: analyzer %q no longer fires on the covered lines; delete the suppression", name),
+					})
+				}
+			}
+		}
+		uses = append(uses, use)
+	}
+	sortFindings(findings)
+	return uses, findings
+}

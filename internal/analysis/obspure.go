@@ -1,0 +1,170 @@
+package analysis
+
+// ObsPure is the observation-purity contract: every function reachable
+// from an observation root must have an empty simulator-state write set.
+// Roots are
+//
+//   - callbacks registered with engine.Engine.ObserveAt (the interval
+//     samplers and any other observation-queue work);
+//   - AuditInvariants methods and everything they walk (invariant audits
+//     run inside timed windows and must not repair or perturb state);
+//   - the exported surface of internal/metrics (Recorder hooks the
+//     simulator calls from anywhere).
+//
+// Writes owned by internal/metrics and internal/invariant are allowed —
+// recording a sample mutates the recorder, an audit appends to its Report;
+// that is the observation side's own state. Everything else (mc, dram,
+// engine, tlb, ... state; package-level variables; captured locals) is a
+// violation: it would make results depend on whether observation was
+// attached, which the byte-compare tests only catch after the fact.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsPure returns the observation-purity analyzer.
+func ObsPure() *Analyzer {
+	return &Analyzer{
+		Name: "obspure",
+		Doc:  "functions reachable from observation hooks (ObserveAt callbacks, invariant audits, metrics recorder surface) must not write simulator state",
+		Run:  runObsPure,
+	}
+}
+
+// obsRoot is one observation entry point.
+type obsRoot struct {
+	node *Node
+	what string // rendered in diagnostics
+	pos  token.Pos
+}
+
+func runObsPure(prog *Program) []Diagnostic {
+	g := BuildCallGraph(prog)
+	roots := obsRoots(g)
+	var diags []Diagnostic
+	reported := make(map[token.Pos]bool)
+	for _, root := range roots {
+		reach := g.Reachable(root.node)
+		for _, n := range reach.Nodes() {
+			if isTestFile(prog.Fset.Position(n.Pos()).Filename) {
+				continue
+			}
+			for _, eff := range n.Effects {
+				if obsAllowedEffect(eff) || reported[eff.Pos] {
+					continue
+				}
+				reported[eff.Pos] = true
+				diags = append(diags, Diagnostic{
+					Pos: eff.Pos,
+					Message: fmt.Sprintf(
+						"%s writes %s but is reachable from %s (%s); observation and audit paths must be read-only",
+						n.Name, eff.Desc, root.what, reach.Chain(n)),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// obsAllowedEffect permits writes to the observation side's own state:
+// the metrics recorder and invariant report accumulators.
+func obsAllowedEffect(eff Effect) bool {
+	if eff.Pkg == nil {
+		return false
+	}
+	return pathHasSuffix(eff.Pkg.Path(), "internal/metrics") ||
+		pathHasSuffix(eff.Pkg.Path(), "internal/invariant")
+}
+
+// obsRoots collects the observation entry points, in deterministic
+// (position) order.
+func obsRoots(g *CallGraph) []obsRoot {
+	var roots []obsRoot
+	// AuditInvariants methods and the exported internal/metrics surface.
+	for _, n := range g.Nodes {
+		if n.Obj == nil {
+			continue
+		}
+		sig, _ := n.Obj.Type().(*types.Signature)
+		isMethod := sig != nil && sig.Recv() != nil
+		if isMethod && n.Obj.Name() == "AuditInvariants" {
+			roots = append(roots, obsRoot{node: n, what: "invariant audit " + n.Name, pos: n.Pos()})
+			continue
+		}
+		if n.Obj.Exported() && fromPkg(n.Obj, "internal/metrics") {
+			roots = append(roots, obsRoot{node: n, what: "metrics hook " + n.Name, pos: n.Pos()})
+		}
+	}
+	// Callbacks registered on the engine's observation queue.
+	for _, n := range g.Nodes {
+		n := n
+		ast.Inspect(n.Body(), func(nd ast.Node) bool {
+			if _, ok := nd.(*ast.FuncLit); ok && nd != ast.Node(n.Lit) {
+				return false // literal bodies are scanned as their own nodes
+			}
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			cb := observeAtCallback(g, n, call)
+			if cb != nil {
+				roots = append(roots, obsRoot{
+					node: cb,
+					what: "engine.ObserveAt callback " + cb.Name,
+					pos:  call.Pos(),
+				})
+			}
+			return true
+		})
+	}
+	sortRoots(roots)
+	return roots
+}
+
+// observeAtCallback resolves the function registered by an
+// engine.Engine.ObserveAt(at, fn) call, or nil.
+func observeAtCallback(g *CallGraph, n *Node, call *ast.CallExpr) *Node {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ObserveAt" || len(call.Args) != 2 {
+		return nil
+	}
+	obj, ok := n.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	recv := sig.Recv().Type()
+	if p, ok := types.Unalias(recv).(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if !isNamedFrom(recv, "internal/engine", "Engine") {
+		return nil
+	}
+	switch arg := ast.Unparen(call.Args[1]).(type) {
+	case *ast.FuncLit:
+		return g.byLit[arg]
+	case *ast.Ident:
+		if fn, ok := n.Pkg.Info.Uses[arg].(*types.Func); ok {
+			return g.byObj[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := n.Pkg.Info.Uses[arg.Sel].(*types.Func); ok {
+			return g.byObj[fn]
+		}
+	}
+	return nil
+}
+
+func sortRoots(roots []obsRoot) {
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j].pos < roots[j-1].pos; j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+}

@@ -1,0 +1,512 @@
+package analysis
+
+// writeset.go computes each callgraph node's direct write effects: the
+// caller-visible state a single function body may mutate. Transitive write
+// sets fall out of callgraph reachability (a function's transitive effects
+// are the union of direct effects over its reachable set), which is how
+// obspure proves observation paths read-only.
+//
+// An effect is recorded when a statement writes through something the
+// caller can see:
+//
+//   - a package-level variable (any write, bare or chained);
+//   - receiver/parameter state reached through at least one pointer,
+//     slice, or map hop (writing a field of a *value* receiver mutates a
+//     copy and is not an effect);
+//   - a variable captured from an enclosing function (closures);
+//   - state handed to an in-place external mutator (sort.*,
+//     container/heap.*) — their bodies are outside the module, so the
+//     mutation is attributed at the call site.
+//
+// A small intra-function alias pass tracks pointer-shaped locals:
+// st := &b.units[u] followed by st.level = x is a write to b's state. A
+// local aliased from make/new/composite literals is fresh — writes through
+// it stay function-local. Writes through locals of unknown origin (e.g.
+// returned by calls) are conservatively treated as state writes attributed
+// to the pointee's type: for contract checking a false alarm is a
+// suppression, a miss is a broken guarantee.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EffectKind classifies what a write effect mutates.
+type EffectKind int
+
+const (
+	// EffectGlobal is a write to a package-level variable.
+	EffectGlobal EffectKind = iota
+	// EffectState is a caller-visible write through a receiver, parameter,
+	// or an alias of one.
+	EffectState
+	// EffectCaptured is a write to a variable captured from an enclosing
+	// function.
+	EffectCaptured
+)
+
+// Effect is one direct write effect of a function.
+type Effect struct {
+	Kind EffectKind
+	// Pkg owns the mutated state: the variable's package for globals, the
+	// named type's package for state writes. Never nil for effects
+	// produced by collectEffects (falls back to the writing function's
+	// package).
+	Pkg  *types.Package
+	Desc string
+	Pos  token.Pos
+}
+
+// String renders the effect compactly, e.g. "global sut.counter",
+// "state sut.Tracker", "captured errs".
+func (e Effect) String() string { return e.Desc }
+
+// originKind classifies where a value points.
+type originKind int
+
+const (
+	origFresh   originKind = iota // allocated inside this function
+	origUnknown                   // call results, unresolvable locals
+	origEffect                    // rooted in caller-visible state
+)
+
+type origin struct {
+	kind originKind
+	eff  Effect // template (no Pos) when kind == origEffect
+}
+
+// effectWalker computes the direct effects of one node.
+type effectWalker struct {
+	g       *CallGraph
+	n       *Node
+	info    *types.Info
+	params  map[*types.Var]bool // receiver + parameters of this node
+	aliases map[*types.Var]origin
+	effects []Effect
+	seen    map[string]bool // dedup by kind+desc
+}
+
+func collectEffects(g *CallGraph, n *Node) []Effect {
+	w := &effectWalker{
+		g:       g,
+		n:       n,
+		info:    n.Pkg.Info,
+		params:  paramVars(n),
+		aliases: make(map[*types.Var]origin),
+		seen:    make(map[string]bool),
+	}
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			return false // separate node; its writes are its own effects
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.IncDecStmt:
+			w.write(x.X)
+		case *ast.RangeStmt:
+			w.rangeAliases(x)
+		case *ast.CallExpr:
+			w.call(x)
+		}
+		return true
+	})
+	return w.effects
+}
+
+// paramVars collects the receiver and parameter objects of a node. Named
+// results are excluded: they behave as locals until return.
+func paramVars(n *Node) map[*types.Var]bool {
+	set := make(map[*types.Var]bool)
+	addField := func(f *ast.Field) {
+		for _, name := range f.Names {
+			if v, ok := n.Pkg.Info.Defs[name].(*types.Var); ok {
+				set[v] = true
+			}
+		}
+	}
+	var ft *ast.FuncType
+	if n.Lit != nil {
+		ft = n.Lit.Type
+	} else {
+		ft = n.Decl.Type
+		if n.Decl.Recv != nil {
+			for _, f := range n.Decl.Recv.List {
+				addField(f)
+			}
+		}
+	}
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			addField(f)
+		}
+	}
+	return set
+}
+
+// assign records alias bindings for := and plain local rebinds, and write
+// effects for every other assignment target.
+func (w *effectWalker) assign(a *ast.AssignStmt) {
+	balanced := len(a.Lhs) == len(a.Rhs)
+	for i, lhs := range a.Lhs {
+		lhs = ast.Unparen(lhs)
+		id, isIdent := lhs.(*ast.Ident)
+		if isIdent && id.Name == "_" {
+			continue
+		}
+		var rhs ast.Expr
+		if balanced {
+			rhs = a.Rhs[i]
+		}
+		if a.Tok == token.DEFINE {
+			if isIdent {
+				w.bindAlias(id, rhs)
+			}
+			continue
+		}
+		if isIdent {
+			if v := w.varOf(id); v != nil && !isPkgLevel(v) && !w.captured(v) {
+				// Rebinding a local: no effect, but re-aim its alias.
+				if a.Tok == token.ASSIGN {
+					w.bindAlias(id, rhs)
+				}
+				continue
+			}
+		}
+		w.write(lhs)
+	}
+}
+
+// bindAlias records what a pointer-shaped local points at. Value-semantics
+// types (structs, arrays, scalars) break the aliasing link: a copy is
+// fresh by construction.
+func (w *effectWalker) bindAlias(id *ast.Ident, rhs ast.Expr) {
+	v := w.varOf(id)
+	if v == nil || !pointerShapedValue(v.Type()) {
+		return
+	}
+	o := origin{kind: origUnknown}
+	if rhs != nil {
+		o = w.originOf(rhs)
+	}
+	if old, ok := w.aliases[v]; ok && old.kind == origEffect && o.kind != origEffect {
+		return // conservative union: once state-rooted, stays state-rooted
+	}
+	w.aliases[v] = o
+}
+
+// rangeAliases binds the value variable of a range loop to the origin of
+// the ranged container (a pointer-shaped element aliases the container's
+// backing store).
+func (w *effectWalker) rangeAliases(r *ast.RangeStmt) {
+	if r.Tok != token.DEFINE || r.Value == nil {
+		return
+	}
+	id, ok := ast.Unparen(r.Value).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v := w.varOf(id)
+	if v == nil || !pointerShapedValue(v.Type()) {
+		return
+	}
+	w.aliases[v] = w.originOf(r.X)
+}
+
+// externalMutators maps external packages whose functions mutate their
+// arguments in place; calls with state-rooted arguments are effects.
+var externalMutators = map[string]bool{
+	"sort":           true,
+	"slices":         true,
+	"container/heap": true,
+}
+
+// call handles effect-bearing calls: builtins that write through their
+// arguments (delete, copy) and external in-place mutators.
+func (w *effectWalker) call(c *ast.CallExpr) {
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "delete", "copy":
+				if len(c.Args) > 0 {
+					w.writeVia(c.Args[0], b.Name())
+				}
+			}
+			return
+		}
+	}
+	obj := calleeOf(w.info, c)
+	if obj == nil || obj.Pkg() == nil || !externalMutators[obj.Pkg().Path()] {
+		return
+	}
+	if fn, ok := obj.(*types.Func); !ok || w.g.byObj[fn] != nil {
+		return // not a function, or a module function: handled as a call edge
+	}
+	for _, arg := range c.Args {
+		if o := w.originOf(arg); o.kind == origEffect {
+			eff := o.eff
+			eff.Desc += " via " + obj.Pkg().Name() + "." + obj.Name()
+			w.add(eff, c.Pos())
+		}
+	}
+}
+
+// write classifies one lvalue and records an effect when the write is
+// caller-visible.
+func (w *effectWalker) write(lv ast.Expr) { w.writeVia(lv, "") }
+
+func (w *effectWalker) writeVia(lv ast.Expr, via string) {
+	lv = ast.Unparen(lv)
+	if id, ok := lv.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	o := w.originOf(lv)
+	switch o.kind {
+	case origFresh:
+		return
+	case origEffect:
+		// State writes must escape through a pointer/slice/map hop; a bare
+		// field write on a value receiver mutates a copy. Globals and
+		// captures are caller-visible however they are written.
+		if o.eff.Kind == EffectState && !w.sharedWrite(lv) {
+			return
+		}
+		eff := o.eff
+		if via != "" {
+			eff.Desc += " via " + via
+		}
+		w.add(eff, lv.Pos())
+	case origUnknown:
+		if !w.sharedWrite(lv) {
+			return
+		}
+		// Unknown-origin pointer chain: conservatively a state write,
+		// attributed to the pointee's named type when there is one.
+		eff := Effect{Kind: EffectState, Pkg: w.n.Pkg.Types, Desc: "state via unknown pointer"}
+		if base := baseIdent(lv); base != nil {
+			if v := w.varOf(base); v != nil {
+				if named := ownerNamed(v.Type()); named != nil && named.Obj().Pkg() != nil {
+					eff.Pkg = named.Obj().Pkg()
+					eff.Desc = "state " + named.Obj().Pkg().Name() + "." + named.Obj().Name() + " (via local " + base.Name + ")"
+				} else {
+					eff.Desc = "state via local " + base.Name
+				}
+			}
+		}
+		if via != "" {
+			eff.Desc += " via " + via
+		}
+		w.add(eff, lv.Pos())
+	}
+}
+
+// add records an effect, deduplicating by kind+description.
+func (w *effectWalker) add(eff Effect, pos token.Pos) {
+	key := itoa(int(eff.Kind)) + "|" + eff.Desc
+	if w.seen[key] {
+		return
+	}
+	w.seen[key] = true
+	eff.Pos = pos
+	if eff.Pkg == nil {
+		eff.Pkg = w.n.Pkg.Types
+	}
+	w.effects = append(w.effects, eff)
+}
+
+// originOf resolves where an expression's value is rooted: fresh
+// allocation, caller-visible state, or unknown.
+func (w *effectWalker) originOf(e ast.Expr) origin {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return w.originOf(x.X)
+		}
+		return origin{kind: origFresh}
+	case *ast.CompositeLit, *ast.BasicLit:
+		return origin{kind: origFresh}
+	case *ast.StarExpr:
+		return w.originOf(x.X)
+	case *ast.IndexExpr:
+		return w.originOf(x.X)
+	case *ast.SliceExpr:
+		return w.originOf(x.X)
+	case *ast.TypeAssertExpr:
+		return w.originOf(x.X)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make", "new":
+					return origin{kind: origFresh}
+				case "append":
+					// append may mutate the original backing array in
+					// place; the result keeps the argument's origin.
+					if len(x.Args) > 0 {
+						return w.originOf(x.Args[0])
+					}
+				}
+			}
+		}
+		return origin{kind: origUnknown}
+	case *ast.SelectorExpr:
+		if v, ok := w.info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return origin{kind: origEffect, eff: globalEffect(v)}
+		}
+		return w.originOf(x.X)
+	case *ast.Ident:
+		v := w.varOf(x)
+		if v == nil {
+			return origin{kind: origUnknown}
+		}
+		switch {
+		case isPkgLevel(v):
+			return origin{kind: origEffect, eff: globalEffect(v)}
+		case w.params[v]:
+			return origin{kind: origEffect, eff: stateEffect(v, w.n)}
+		case w.captured(v):
+			// A captured pointer to named state is that state; anything
+			// else is the encloser's local.
+			if named := ownerNamed(v.Type()); named != nil && pointerShapedValue(v.Type()) {
+				return origin{kind: origEffect, eff: stateEffect(v, w.n)}
+			}
+			return origin{kind: origEffect, eff: capturedEffect(v)}
+		default:
+			if o, ok := w.aliases[v]; ok {
+				return o
+			}
+			return origin{kind: origUnknown}
+		}
+	}
+	return origin{kind: origUnknown}
+}
+
+// sharedWrite reports whether the lvalue chain passes through at least one
+// pointer, slice, or map hop — i.e. whether the write lands in memory the
+// base's owner can see rather than in a local copy.
+func (w *effectWalker) sharedWrite(lv ast.Expr) bool {
+	for {
+		lv = ast.Unparen(lv)
+		switch x := lv.(type) {
+		case *ast.StarExpr:
+			return true
+		case *ast.IndexExpr:
+			t := w.info.TypeOf(x.X)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					return true
+				}
+			}
+			lv = x.X
+		case *ast.SelectorExpr:
+			if t := w.info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					return true
+				}
+			}
+			lv = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// baseIdent returns the identifier at the root of an lvalue chain, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// varOf resolves an identifier to its variable object.
+func (w *effectWalker) varOf(id *ast.Ident) *types.Var {
+	obj := w.info.Uses[id]
+	if obj == nil {
+		obj = w.info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// captured reports whether v is declared outside this node's source span —
+// a variable captured from an enclosing function.
+func (w *effectWalker) captured(v *types.Var) bool {
+	lo, hi := w.n.span()
+	return v.Pos() < lo || v.Pos() > hi
+}
+
+// isPkgLevel reports whether v is a package-level variable.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// pointerShapedValue reports whether writes through a value of type t can
+// reach memory shared with whoever supplied the value: pointers, slices,
+// and maps. Struct/array/scalar copies break the link.
+func pointerShapedValue(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// ownerNamed peels pointers and containers off t to find the named type
+// that owns the pointed-to state, or nil.
+func ownerNamed(t types.Type) *types.Named {
+	for {
+		t = types.Unalias(t)
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+func globalEffect(v *types.Var) Effect {
+	name := v.Name()
+	if v.Pkg() != nil {
+		name = v.Pkg().Name() + "." + name
+	}
+	return Effect{Kind: EffectGlobal, Pkg: v.Pkg(), Desc: "global " + name}
+}
+
+// stateEffect builds the effect template for a write rooted in a receiver,
+// parameter, or captured pointer to named state.
+func stateEffect(v *types.Var, n *Node) Effect {
+	if named := ownerNamed(v.Type()); named != nil && named.Obj().Pkg() != nil {
+		obj := named.Obj()
+		return Effect{Kind: EffectState, Pkg: obj.Pkg(), Desc: "state " + obj.Pkg().Name() + "." + obj.Name()}
+	}
+	return Effect{Kind: EffectState, Pkg: n.Pkg.Types, Desc: "state via " + v.Name()}
+}
+
+func capturedEffect(v *types.Var) Effect {
+	return Effect{Kind: EffectCaptured, Pkg: v.Pkg(), Desc: "captured " + v.Name()}
+}

@@ -218,13 +218,17 @@ type reqQueue struct {
 	live  int
 }
 
+//dylect:hotpath
 func (q *reqQueue) push(r *Request) {
+	//lint:ignore hotalloc queue backing array growth is amortized; steady state reuses freed capacity
 	q.queue = append(q.queue, r)
 	q.live++
 }
 
 // forEachPending visits up to `window` live requests in FCFS order, passing
 // their absolute queue positions. Visiting stops early if f returns false.
+//
+//dylect:hotpath
 func (q *reqQueue) forEachPending(window int, f func(pos int, r *Request) bool) {
 	count := 0
 	for i := q.head; i < len(q.queue); i++ {
@@ -244,6 +248,8 @@ func (q *reqQueue) forEachPending(window int, f func(pos int, r *Request) bool) 
 
 // remove nils the request at absolute queue position pos and
 // advances/compacts the head.
+//
+//dylect:hotpath
 func (q *reqQueue) remove(pos int) {
 	q.queue[pos] = nil
 	q.live--
@@ -350,6 +356,8 @@ func (c *Controller) StartRefresh(horizon engine.Time) {
 
 // Submit enqueues a request. The Done callback fires when its data burst
 // finishes.
+//
+//dylect:hotpath
 func (c *Controller) Submit(req *Request) {
 	req.enq = c.eng.Now()
 	req.loc = c.cfg.Decode(req.Addr)
@@ -392,6 +400,8 @@ func (c *Controller) armService(ci int, at engine.Time) {
 
 // service issues as many requests as the current bank/bus state allows, then
 // (if work remains) re-arms itself at the earliest time state changes.
+//
+//dylect:hotpath
 func (c *Controller) service(ci int) {
 	ch := c.chans[ci]
 	now := c.eng.Now()
@@ -417,9 +427,12 @@ func (c *Controller) service(ci int) {
 // pick implements FR-FCFS within one queue: a row-hit streak cap and bank
 // fairness via a rotating start bank. It returns the queue index of the
 // request to issue now, or -1 if no bank is ready.
+//
+//dylect:hotpath
 func (c *Controller) pick(ch *channel, q *reqQueue, now engine.Time) int {
 	best := -1
 	bestScore := -1
+	//lint:ignore hotalloc the scan closure captures only stack variables and does not escape; gc keeps it on the stack
 	q.forEachPending(c.cfg.QueueWindow, func(i int, req *Request) bool {
 		bk := &ch.banks[req.loc.bank]
 		if bk.readyAt > now || ch.refreshAt[req.loc.rank] > now {
@@ -452,8 +465,10 @@ func (c *Controller) pick(ch *channel, q *reqQueue, now engine.Time) int {
 	return best
 }
 
+//dylect:hotpath
 func (c *Controller) nextReady(ch *channel, now engine.Time) engine.Time {
 	next := engine.Time(^uint64(0))
+	//lint:ignore hotalloc the scan closure captures only stack variables and does not escape; gc keeps it on the stack
 	scan := func(_ int, req *Request) bool {
 		t := ch.banks[req.loc.bank].readyAt
 		if rt := ch.refreshAt[req.loc.rank]; rt > t {
@@ -472,6 +487,7 @@ func (c *Controller) nextReady(ch *channel, now engine.Time) engine.Time {
 	return next
 }
 
+//dylect:hotpath
 func (c *Controller) issue(ch *channel, req *Request, now engine.Time) {
 	bk := &ch.banks[req.loc.bank]
 	var access engine.Time
@@ -513,6 +529,7 @@ func (c *Controller) issue(ch *channel, req *Request, now engine.Time) {
 
 	if req.Done != nil {
 		done := req.Done
+		//lint:ignore hotalloc one completion closure per burst is the event-driven design; it carries only two words
 		c.eng.ScheduleAt(dataEnd, func() { done(dataEnd) })
 	}
 }

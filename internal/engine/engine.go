@@ -145,6 +145,8 @@ func (e *Engine) ObserveAt(at Time, fn func()) {
 
 // flushObsBefore runs observations due strictly before the next event time
 // limit (exclusive), advancing time to each observation's timestamp.
+//
+//dylect:hotpath
 func (e *Engine) flushObsBefore(limit Time) {
 	for len(e.obs) > 0 && e.obs[0].at < limit {
 		e.runObs()
@@ -153,6 +155,8 @@ func (e *Engine) flushObsBefore(limit Time) {
 
 // flushObsThrough runs observations with timestamps up to and including
 // horizon.
+//
+//dylect:hotpath
 func (e *Engine) flushObsThrough(horizon Time) {
 	for len(e.obs) > 0 && e.obs[0].at <= horizon {
 		e.runObs()
@@ -160,6 +164,8 @@ func (e *Engine) flushObsThrough(horizon Time) {
 }
 
 // runObs pops and executes the earliest observation.
+//
+//dylect:hotpath
 func (e *Engine) runObs() {
 	ob := heap.Pop(&e.obs).(*event)
 	if e.now < ob.at {
@@ -173,6 +179,8 @@ func (e *Engine) runObs() {
 // Step executes the single earliest pending event, advancing time to it.
 // It reports whether an event was executed. Observations due before the
 // event's timestamp run first.
+//
+//dylect:hotpath
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
@@ -189,6 +197,8 @@ func (e *Engine) Step() bool {
 // event lies beyond the horizon. Time is left at the later of the last
 // executed event and the horizon. Observations due inside the horizon run
 // at their timestamps (after all simulation events at the same tick).
+//
+//dylect:hotpath
 func (e *Engine) RunUntil(horizon Time) {
 	for len(e.events) > 0 && e.events[0].at <= horizon {
 		e.Step()

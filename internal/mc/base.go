@@ -343,6 +343,8 @@ func (b *Base) emitCTE(name string, blockAddr uint64, reason string) {
 // FillCTE installs a block into the CTE cache, counting and tracing any
 // eviction it causes. All CTE-cache fills across the designs go through
 // here so the evict stream is complete.
+//
+//dylect:hotpath
 func (b *Base) FillCTE(blockAddr uint64, reason string) {
 	victim, _, evicted := b.CTE.Fill(blockAddr, false)
 	b.emitCTE("fill", blockAddr, reason)
@@ -362,15 +364,23 @@ func (b *Base) SetFunctional(on bool) { b.functionalMode = on }
 func (b *Base) Functional() bool { return b.functionalMode }
 
 // UnitOf returns the unit index of an OS-physical byte address.
+//
+//dylect:hotpath
 func (b *Base) UnitOf(addr uint64) uint64 { return addr / b.P.Granularity }
 
 // Level returns the memory level of a unit.
+//
+//dylect:hotpath
 func (b *Base) Level(u uint64) Level { return b.units[u].level }
 
 // ShortCTE returns the unit's short CTE (GroupSize == INVALID).
+//
+//dylect:hotpath
 func (b *Base) ShortCTE(u uint64) uint8 { return b.units[u].short }
 
 // UnitAddr returns the unit's current machine address.
+//
+//dylect:hotpath
 func (b *Base) UnitAddr(u uint64) uint64 { return b.units[u].addr }
 
 // unitClass computes the chunk class of a unit from its constituent pages'
@@ -389,14 +399,20 @@ func (b *Base) unitClass(u uint64) int {
 
 // UnifiedBlockAddr returns the machine address of the unified CTE table
 // block holding unit u's entry (8 entries of 8B per 64B block).
+//
+//dylect:hotpath
 func (b *Base) UnifiedBlockAddr(u uint64) uint64 { return b.unifiedBase + u/8*64 }
 
 // PreGatheredBlockAddr returns the machine address of the pre-gathered
 // table block covering page p (256 2-bit entries per 64B block → 1MB reach).
+//
+//dylect:hotpath
 func (b *Base) PreGatheredBlockAddr(p uint64) uint64 { return b.preGatherBase + p/256*64 }
 
 // CounterBlockAddr returns the machine address of the access-counter block
 // for page p.
+//
+//dylect:hotpath
 func (b *Base) CounterBlockAddr(p uint64) uint64 { return b.counterBase + p*5/8/64*64 }
 
 // After runs fn after a latency: inline in functional mode, scheduled on
@@ -457,6 +473,8 @@ func (b *Base) chunkBlocks(class int) int {
 
 // TouchRecency applies TMCC's sampled Recency List head update (once every
 // RecencySamplePeriod requests) for an uncompressed unit.
+//
+//dylect:hotpath
 func (b *Base) TouchRecency(u uint64) {
 	b.reqCount++
 	if b.reqCount%uint64(b.P.RecencySamplePeriod) != 0 {
@@ -691,6 +709,8 @@ func (b *Base) FetchCTEBlock(blockAddr uint64, cacheIt bool, done func()) {
 // DataAccess performs the demand 64B access for an uncompressed unit at the
 // given OS-physical address; reads call done at data arrival, writes are
 // posted (done runs immediately).
+//
+//dylect:hotpath
 func (b *Base) DataAccess(osAddr uint64, write bool, done func()) {
 	u := b.UnitOf(osAddr)
 	machine := b.units[u].addr + osAddr%b.P.Granularity

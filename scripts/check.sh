@@ -4,6 +4,10 @@
 #   build    go build ./...
 #   vet      go vet ./...
 #   lint     go run ./cmd/dylect-lint ./...   (the repo's own analyzers)
+#   contracts  the interprocedural contract analyzers (obspure, hotalloc,
+#            detflow) run alone with -json findings kept as an artifact
+#            (CONTRACTS_OUT overrides the path), then the //lint:ignore
+#            audit (-ignores): stale or malformed suppressions fail
 #   race     go test -race ./...   (includes the jobs=1 vs jobs=N harness
 #            equivalence and single-flight hammer tests at 4+ jobs)
 #   golden   re-run the golden-run regression corpus (invariant audits on)
@@ -28,13 +32,13 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(build vet lint race golden faults obs serve fuzz)
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint contracts race golden faults obs serve fuzz)
 
 for s in "${steps[@]}"; do
 	case "$s" in
-	build | vet | lint | race | golden | faults | obs | serve | fuzz) ;;
+	build | vet | lint | contracts | race | golden | faults | obs | serve | fuzz) ;;
 	*)
-		echo "unknown step '$s' (want: build vet lint race golden faults obs serve fuzz)" >&2
+		echo "unknown step '$s' (want: build vet lint contracts race golden faults obs serve fuzz)" >&2
 		exit 2
 		;;
 	esac
@@ -59,6 +63,23 @@ fi
 if want lint; then
 	echo "== dylect-lint ./..."
 	go run ./cmd/dylect-lint ./...
+fi
+
+if want contracts; then
+	echo "== contract analyzers (obspure hotalloc detflow) + ignore audit"
+	# CONTRACTS_OUT keeps the JSON findings (CI uploads them as an
+	# artifact even on failure); default is ephemeral.
+	contracts_out="${CONTRACTS_OUT:-$(mktemp)}"
+	rc=0
+	go run ./cmd/dylect-lint -enable obspure,hotalloc,detflow -json ./... \
+		>"$contracts_out" || rc=$?
+	if [ "$rc" -ne 0 ]; then
+		echo "contract analyzers reported findings:" >&2
+		cat "$contracts_out" >&2
+		exit "$rc"
+	fi
+	go run ./cmd/dylect-lint -ignores ./...
+	[ -n "${CONTRACTS_OUT:-}" ] || rm -f "$contracts_out"
 fi
 
 if want race; then
