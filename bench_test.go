@@ -29,13 +29,17 @@ func benchExperiment(b *testing.B, name string) {
 	if !ok {
 		b.Fatalf("unknown experiment %q", name)
 	}
+	b.ReportAllocs()
+	cells := 0
 	for i := 0; i < b.N; i++ {
 		runner := harness.NewRunner(benchConfig())
 		blocks := exp.Run(runner)
 		if len(blocks) == 0 {
 			b.Fatal("experiment produced no output")
 		}
+		cells += runner.Runs()
 	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/sec")
 }
 
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
@@ -60,8 +64,10 @@ func BenchmarkFig25(b *testing.B)  { benchExperiment(b, "fig25") }
 // time per simulated microsecond of the full system under DyLeCT.
 func BenchmarkSimulatedMicrosecond(b *testing.B) {
 	w, _ := WorkloadByName("bfs")
+	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
-		Simulate(RunOptions{
+		res := Simulate(RunOptions{
 			Workload:       w,
 			Design:         DesignDyLeCT,
 			Setting:        SettingHigh,
@@ -72,5 +78,8 @@ func BenchmarkSimulatedMicrosecond(b *testing.B) {
 			WarmupAccesses: 50_000,
 			Window:         Microsecond * 20,
 		})
+		events += res.Events
 	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
 }

@@ -36,22 +36,28 @@ func (c Config) Validate() error {
 	return nil
 }
 
-type way struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	used  uint64 // LRU stamp
-}
+// invalidTag marks an empty way. Line addresses are byte addresses shifted
+// right, and machine addresses are far below 2^64, so no real line can
+// collide with the sentinel; encoding validity in the tag keeps the lookup
+// scan a single comparison over a contiguous tag array.
+const invalidTag = ^uint64(0)
 
 // Cache is a set-associative, true-LRU, write-back cache keyed by line
 // address. It is purely functional (no timing); latency lives in the
-// system model.
+// system model. Way state is stored as parallel flat arrays (tags, LRU
+// stamps, dirty bits) indexed by set*assoc+way: the tag scan that dominates
+// simulation time then walks a dense uint64 array instead of striding
+// through per-way structs.
 type Cache struct {
 	cfg   Config
-	sets  [][]way
+	assoc int
+	tags  []uint64 // invalidTag when the way is empty
+	used  []uint64 // LRU stamp
+	dirty []bool
 	tick  uint64
 	shift uint
 	mask  uint64
+	nsets uint64
 
 	Hits   stats.Counter
 	Misses stats.Counter
@@ -63,12 +69,18 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg}
 	nsets := cfg.Sets()
-	c.sets = make([][]way, nsets)
-	backing := make([]way, nsets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	n := nsets * cfg.Assoc
+	c := &Cache{
+		cfg:   cfg,
+		assoc: cfg.Assoc,
+		tags:  make([]uint64, n),
+		used:  make([]uint64, n),
+		dirty: make([]bool, n),
+		nsets: uint64(nsets),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	for s := uint(0); (1 << s) < cfg.LineBytes; s++ {
 		c.shift = s + 1
@@ -86,24 +98,29 @@ func (c *Cache) Config() Config { return c.cfg }
 // LineAddr converts a byte address to this cache's line address.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.shift }
 
-func (c *Cache) setOf(line uint64) []way {
+// setBase returns the index of the set's first way in the flat arrays.
+//
+//dylect:hotpath
+func (c *Cache) setBase(line uint64) int {
 	if c.mask != 0 {
-		return c.sets[line&c.mask]
+		return int(line&c.mask) * c.assoc
 	}
-	return c.sets[line%uint64(len(c.sets))]
+	return int(line%c.nsets) * c.assoc
 }
 
 // Access looks up the line containing addr, updating LRU and hit/miss
 // statistics. On a write hit the line is marked dirty.
+//
+//dylect:hotpath
 func (c *Cache) Access(addr uint64, write bool) bool {
 	line := c.LineAddr(addr)
-	set := c.setOf(line)
+	base := c.setBase(line)
 	c.tick++
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
-			set[i].used = c.tick
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == line {
+			c.used[i] = c.tick
 			if write {
-				set[i].dirty = true
+				c.dirty[i] = true
 			}
 			c.Hits.Inc()
 			return true
@@ -115,11 +132,13 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 
 // Probe reports whether the line containing addr is present, without
 // touching LRU state or statistics.
+//
+//dylect:hotpath
 func (c *Cache) Probe(addr uint64) bool {
 	line := c.LineAddr(addr)
-	set := c.setOf(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
+	base := c.setBase(line)
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == line {
 			return true
 		}
 	}
@@ -129,34 +148,38 @@ func (c *Cache) Probe(addr uint64) bool {
 // Fill inserts the line containing addr (marking it dirty if requested) and
 // returns the evicted victim, if any. Filling an already-present line only
 // refreshes its LRU position.
+//
+//dylect:hotpath
 func (c *Cache) Fill(addr uint64, dirty bool) (victimAddr uint64, victimDirty, evicted bool) {
 	line := c.LineAddr(addr)
-	set := c.setOf(line)
+	base := c.setBase(line)
 	c.tick++
-	lru := 0
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
-			set[i].used = c.tick
+	lru := base
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == line {
+			c.used[i] = c.tick
 			if dirty {
-				set[i].dirty = true
+				c.dirty[i] = true
 			}
 			return 0, false, false
 		}
-		if !set[i].valid {
+		if c.tags[i] == invalidTag {
 			lru = i
 		}
 	}
-	if set[lru].valid { // no invalid way found; find true LRU
-		for i := range set {
-			if set[i].used < set[lru].used {
+	if c.tags[lru] != invalidTag { // no invalid way found; find true LRU
+		for i := base; i < base+c.assoc; i++ {
+			if c.used[i] < c.used[lru] {
 				lru = i
 			}
 		}
 	}
-	v := set[lru]
-	set[lru] = way{tag: line, valid: true, dirty: dirty, used: c.tick}
-	if v.valid {
-		return v.tag << c.shift, v.dirty, true
+	vTag, vDirty := c.tags[lru], c.dirty[lru]
+	c.tags[lru] = line
+	c.dirty[lru] = dirty
+	c.used[lru] = c.tick
+	if vTag != invalidTag {
+		return vTag << c.shift, vDirty, true
 	}
 	return 0, false, false
 }
@@ -165,11 +188,13 @@ func (c *Cache) Fill(addr uint64, dirty bool) (victimAddr uint64, victimDirty, e
 // was dirty.
 func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
 	line := c.LineAddr(addr)
-	set := c.setOf(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
-			d := set[i].dirty
-			set[i] = way{}
+	base := c.setBase(line)
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == line {
+			d := c.dirty[i]
+			c.tags[i] = invalidTag
+			c.dirty[i] = false
+			c.used[i] = 0
 			return d, true
 		}
 	}
@@ -190,14 +215,11 @@ func (c *Cache) ResetStats() {
 
 // Occupancy returns the fraction of ways currently valid.
 func (c *Cache) Occupancy() float64 {
-	valid, total := 0, 0
-	for _, set := range c.sets {
-		for i := range set {
-			total++
-			if set[i].valid {
-				valid++
-			}
+	valid := 0
+	for _, t := range c.tags {
+		if t != invalidTag {
+			valid++
 		}
 	}
-	return float64(valid) / float64(total)
+	return float64(valid) / float64(len(c.tags))
 }

@@ -218,7 +218,7 @@ func TestNextLinePrefetcher(t *testing.T) {
 	// Sequential stream: prefetches should be issued and become useful.
 	issued := 0
 	for line := uint64(100); line < 200; line++ {
-		if got := p.Observe(line); len(got) == 1 && got[0] == line+1 {
+		if got := p.Observe(line, nil); len(got) == 1 && got[0] == line+1 {
 			issued++
 		}
 	}
@@ -235,7 +235,7 @@ func TestNextLineDisablesOnRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	disabledAt := -1
 	for i := 0; i < 2048; i++ {
-		p.Observe(rng.Uint64() % (1 << 40))
+		p.Observe(rng.Uint64()%(1<<40), nil)
 		if !p.Enabled() && disabledAt < 0 {
 			disabledAt = i
 		}
@@ -249,7 +249,7 @@ func TestStridePrefetcher(t *testing.T) {
 	p := NewStride(4)
 	var got []uint64
 	for i := uint64(0); i < 10; i++ {
-		got = p.Observe(1, 1000+i*3)
+		got = p.Observe(1, 1000+i*3, nil)
 	}
 	if len(got) != 4 {
 		t.Fatalf("degree-4 stride issued %d prefetches", len(got))
@@ -265,17 +265,17 @@ func TestStridePrefetcher(t *testing.T) {
 func TestStrideResetsOnChange(t *testing.T) {
 	p := NewStride(2)
 	for i := uint64(0); i < 5; i++ {
-		p.Observe(7, 100+i*2)
+		p.Observe(7, 100+i*2, nil)
 	}
-	if got := p.Observe(7, 500); len(got) != 0 {
+	if got := p.Observe(7, 500, nil); len(got) != 0 {
 		t.Fatal("stride change should suppress prefetch")
 	}
 	// Needs two confirmations again.
-	if got := p.Observe(7, 510); len(got) != 0 {
+	if got := p.Observe(7, 510, nil); len(got) != 0 {
 		t.Fatal("single confirmation should not prefetch")
 	}
-	p.Observe(7, 520)
-	if got := p.Observe(7, 530); len(got) != 2 {
+	p.Observe(7, 520, nil)
+	if got := p.Observe(7, 530, nil); len(got) != 2 {
 		t.Fatalf("re-trained stride issued %d prefetches, want 2", len(got))
 	}
 }
@@ -283,11 +283,11 @@ func TestStrideResetsOnChange(t *testing.T) {
 func TestStrideSeparateStreams(t *testing.T) {
 	p := NewStride(1)
 	for i := uint64(0); i < 8; i++ {
-		p.Observe(1, 100+i)
-		p.Observe(2, 9000+i*100)
+		p.Observe(1, 100+i, nil)
+		p.Observe(2, 9000+i*100, nil)
 	}
-	a := p.Observe(1, 108)
-	b := p.Observe(2, 9800)
+	a := p.Observe(1, 108, nil)
+	b := p.Observe(2, 9800, nil)
 	if len(a) != 1 || a[0] != 109 {
 		t.Fatalf("stream 1 prefetch = %v", a)
 	}
@@ -299,7 +299,7 @@ func TestStrideSeparateStreams(t *testing.T) {
 func TestStrideTableBounded(t *testing.T) {
 	p := NewStride(1)
 	for s := uint64(0); s < 10000; s++ {
-		p.Observe(s, s)
+		p.Observe(s, s, nil)
 	}
 	if len(p.entries) > p.limit {
 		t.Fatalf("stride table grew to %d entries (limit %d)", len(p.entries), p.limit)
@@ -307,6 +307,7 @@ func TestStrideTableBounded(t *testing.T) {
 }
 
 func BenchmarkCacheAccess(b *testing.B) {
+	b.ReportAllocs()
 	c := New(Config{SizeBytes: 2 << 20, LineBytes: 64, Assoc: 16})
 	rng := rand.New(rand.NewSource(1))
 	addrs := make([]uint64, 8192)

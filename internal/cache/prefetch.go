@@ -8,8 +8,14 @@ package cache
 // disables itself when prefetches are not being used, re-probing
 // periodically (the "automatic enable/disable" of Table 3).
 type NextLine struct {
-	enabled   bool
-	issued    [64]uint64 // ring of recently prefetched lines
+	enabled bool
+	issued  [64]uint64 // ring of recently prefetched lines
+	// occupancy counts live ring entries per value bucket (line&63): the
+	// usefulness check on every demand access can skip the 64-entry ring
+	// scan whenever no issued line can possibly match. Counts are exact
+	// (incremented on issue, decremented on consume/overwrite), so skipping
+	// is never wrong — it is a fast path, not an approximation.
+	occupancy [64]uint8
 	head      int
 	nIssued   uint64
 	nUseful   uint64
@@ -32,15 +38,20 @@ func (p *NextLine) Accuracy() float64 {
 
 const nextLineEvalWindow = 256
 
-// Observe is called with each demand line access; it returns the lines to
-// prefetch (at most one).
-func (p *NextLine) Observe(line uint64) []uint64 {
+// Observe is called with each demand line access; it appends the lines to
+// prefetch (at most one) to buf and returns the extended slice. Appending
+// into a caller-owned scratch buffer keeps the per-access hot path
+// allocation-free.
+func (p *NextLine) Observe(line uint64, buf []uint64) []uint64 {
 	// Usefulness: the access consumes a previously issued prefetch.
-	for i, l := range p.issued {
-		if l != 0 && l == line {
-			p.nUseful++
-			p.issued[i] = 0
-			break
+	if p.occupancy[line&63] > 0 {
+		for i, l := range p.issued {
+			if l != 0 && l == line {
+				p.nUseful++
+				p.issued[i] = 0
+				p.occupancy[line&63]--
+				break
+			}
 		}
 	}
 	p.sinceEval++
@@ -55,12 +66,16 @@ func (p *NextLine) Observe(line uint64) []uint64 {
 		p.nIssued, p.nUseful = 0, 0
 	}
 	if !p.enabled {
-		return nil
+		return buf
 	}
 	p.nIssued++
+	if old := p.issued[p.head]; old != 0 {
+		p.occupancy[old&63]--
+	}
 	p.issued[p.head] = line + 1
+	p.occupancy[(line+1)&63]++
 	p.head = (p.head + 1) % len(p.issued)
-	return []uint64{line + 1}
+	return append(buf, line+1)
 }
 
 // Stride is a per-stream stride prefetcher: it detects a constant line-level
@@ -68,8 +83,11 @@ func (p *NextLine) Observe(line uint64) []uint64 {
 // for the program counter) and prefetches `degree` lines ahead once the
 // stride is confirmed twice.
 type Stride struct {
-	degree  int
-	entries map[uint64]*strideEntry
+	degree int
+	// entries holds detector state by value: inserting a new stream writes
+	// into the map's buckets directly instead of boxing a fresh entry on the
+	// heap for every stream (a dominant allocation source at warmup rates).
+	entries map[uint64]strideEntry
 	limit   int
 }
 
@@ -81,26 +99,27 @@ type strideEntry struct {
 
 // NewStride builds a stride prefetcher with the given degree.
 func NewStride(degree int) *Stride {
-	return &Stride{degree: degree, entries: make(map[uint64]*strideEntry), limit: 256}
+	return &Stride{degree: degree, entries: make(map[uint64]strideEntry), limit: 256}
 }
 
-// Observe is called with each demand access (stream ID and line address) and
-// returns lines to prefetch.
-func (p *Stride) Observe(stream, line uint64) []uint64 {
+// Observe is called with each demand access (stream ID and line address); it
+// appends lines to prefetch to buf and returns the extended slice.
+func (p *Stride) Observe(stream, line uint64, buf []uint64) []uint64 {
 	e, ok := p.entries[stream]
 	if !ok {
 		if len(p.entries) >= p.limit {
 			// Bounded table: drop everything (cheap victimization that keeps
-			// the model deterministic).
-			p.entries = make(map[uint64]*strideEntry, p.limit)
+			// the model deterministic). clear keeps the buckets allocated.
+			clear(p.entries)
 		}
-		p.entries[stream] = &strideEntry{last: line}
-		return nil
+		p.entries[stream] = strideEntry{last: line}
+		return buf
 	}
 	stride := int64(line) - int64(e.last)
 	e.last = line
 	if stride == 0 {
-		return nil
+		p.entries[stream] = e
+		return buf
 	}
 	if stride == e.stride {
 		if e.confidence < 4 {
@@ -109,19 +128,20 @@ func (p *Stride) Observe(stream, line uint64) []uint64 {
 	} else {
 		e.stride = stride
 		e.confidence = 0
-		return nil
+		p.entries[stream] = e
+		return buf
 	}
+	p.entries[stream] = e
 	if e.confidence < 2 {
-		return nil
+		return buf
 	}
-	out := make([]uint64, 0, p.degree)
 	next := int64(line)
 	for i := 0; i < p.degree; i++ {
 		next += stride
 		if next < 0 {
 			break
 		}
-		out = append(out, uint64(next))
+		buf = append(buf, uint64(next))
 	}
-	return out
+	return buf
 }

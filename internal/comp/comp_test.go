@@ -433,6 +433,7 @@ func TestSizeModelSeedVariation(t *testing.T) {
 }
 
 func BenchmarkBDICompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	blocks := make([][]byte, 64)
 	for i := range blocks {
@@ -447,6 +448,7 @@ func BenchmarkBDICompress(b *testing.B) {
 }
 
 func BenchmarkPageCompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(2))
 	page := make([]byte, PageSize)
 	for blk := 0; blk < PageSize/BlockSize; blk++ {

@@ -113,6 +113,7 @@ func TestPropertyLZCompressesStructured(t *testing.T) {
 }
 
 func BenchmarkLZCompressPage(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(4))
 	page := make([]byte, PageSize)
 	for blk := 0; blk < PageSize/BlockSize; blk++ {

@@ -414,6 +414,7 @@ func TestUnifiedHitServesML0WhenPreGatheredEvicted(t *testing.T) {
 }
 
 func BenchmarkDyLeCTWarmAccess(b *testing.B) {
+	b.ReportAllocs()
 	eng := engine.New()
 	d := dram.NewController(eng, dram.DDR4(1, 1, 192))
 	c := New(mc.Params{

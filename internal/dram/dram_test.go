@@ -332,6 +332,7 @@ func dram_trainReq(i int, end *engine.Time) Request {
 }
 
 func BenchmarkControllerThroughput(b *testing.B) {
+	b.ReportAllocs()
 	cfg := testConfig()
 	eng := engine.New()
 	c := NewController(eng, cfg)

@@ -1,0 +1,60 @@
+package engine
+
+import "testing"
+
+// The //dylect:hotpath contract (enforced statically by the hotalloc
+// analyzer) is backed up dynamically here: steady-state event dispatch must
+// not allocate. These budgets are exact — any regression from 0 means a
+// closure, boxing, or queue-growth bug crept into the dispatcher.
+
+func TestStepAllocFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Pre-grow the queue so the measured loop never triggers amortized
+	// backing-array growth.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	for e.Pending() > 0 {
+		e.Step()
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	}); n != 0 {
+		t.Fatalf("Schedule+Step allocated %.1f/op, want 0", n)
+	}
+}
+
+func TestObserveFlushAllocFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i), fn)
+		e.ObserveAt(Time(i), fn)
+	}
+	e.Run()
+	if n := testing.AllocsPerRun(1000, func() {
+		e.ObserveAt(e.Now(), fn)
+		e.Schedule(1, fn)
+		e.Step() // flushes the observation before dispatching the event
+	}); n != 0 {
+		t.Fatalf("ObserveAt+flush allocated %.1f/op, want 0", n)
+	}
+}
+
+func TestRunUntilAllocFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	e.Run()
+	if n := testing.AllocsPerRun(1000, func() {
+		e.Schedule(5, fn)
+		e.Schedule(10, fn)
+		e.RunUntil(e.Now() + 20)
+	}); n != 0 {
+		t.Fatalf("RunUntil allocated %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap reimplement the dispatcher the engine used before the
+// value-heap rewrite: boxed events ordered by (at, seq) through
+// container/heap. It is the differential oracle — any ordering divergence
+// between it and eventQueue is a correctness bug in the new dispatcher, not
+// noise.
+type refEvent struct {
+	at  Time
+	seq uint64
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// TestQueueMatchesReferenceHeap drives the value heap and the container/heap
+// reference with identical randomized push/pop schedules and asserts the pop
+// streams are identical — including seq order among events that share a
+// timestamp. Timestamps are drawn from a small range so same-tick collisions
+// are frequent.
+func TestQueueMatchesReferenceHeap(t *testing.T) {
+	for _, tc := range []struct {
+		seed      int64
+		timeRange Time
+	}{
+		{seed: 1, timeRange: 8},    // heavy same-tick collisions
+		{seed: 2, timeRange: 1},    // every event at the same tick: pure FIFO
+		{seed: 3, timeRange: 1000}, // sparse ties
+		{seed: 4, timeRange: 50},
+	} {
+		t.Run(fmt.Sprintf("seed%d_range%d", tc.seed, tc.timeRange), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			var q eventQueue
+			var ref refHeap
+			var seq uint64
+			pops := 0
+			for op := 0; op < 20000; op++ {
+				if len(ref) > 0 && rng.Intn(3) == 0 {
+					want := heap.Pop(&ref).(*refEvent)
+					got := q.pop()
+					if got.at != want.at || got.seq != want.seq {
+						t.Fatalf("pop %d: got (at=%d seq=%d), reference (at=%d seq=%d)",
+							pops, got.at, got.seq, want.at, want.seq)
+					}
+					pops++
+					continue
+				}
+				seq++
+				at := Time(rng.Int63n(int64(tc.timeRange)))
+				q.push(event{at: at, seq: seq})
+				heap.Push(&ref, &refEvent{at: at, seq: seq})
+			}
+			// Drain both completely: full sorted order must agree.
+			for len(ref) > 0 {
+				want := heap.Pop(&ref).(*refEvent)
+				got := q.pop()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("drain pop %d: got (at=%d seq=%d), reference (at=%d seq=%d)",
+						pops, got.at, got.seq, want.at, want.seq)
+				}
+				pops++
+			}
+			if len(q) != 0 {
+				t.Fatalf("value heap holds %d events after reference drained", len(q))
+			}
+		})
+	}
+}
+
+// refEngine executes a schedule on a private engine-with-reference-heap
+// built from the engine's public behavior: events in (at, seq) order with
+// observations flushed before each later-timestamped event. Rather than
+// duplicating the execution loop, it replays the schedule through
+// container/heap directly and records the order labels fire.
+type scheduleOp struct {
+	delay    Time // relative to the op's issue time
+	observe  bool // register an observation instead of an event
+	children int  // events scheduled from inside this event's callback
+}
+
+// TestEngineOrderMatchesReference runs a seeded randomized schedule —
+// including events that schedule more events when they fire, same-tick
+// bursts, and interleaved observations — through the real Engine, and
+// replays the identical schedule through the reference heap. The label
+// streams must match exactly.
+func TestEngineOrderMatchesReference(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ops := randomSchedule(seed)
+
+			got := runEngineSchedule(ops)
+			want := runReferenceSchedule(ops)
+
+			if len(got) != len(want) {
+				t.Fatalf("fired %d callbacks, reference fired %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("callback %d: engine fired %q, reference %q", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func randomSchedule(seed int64) []scheduleOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]scheduleOp, 400)
+	for i := range ops {
+		ops[i] = scheduleOp{
+			delay:    Time(rng.Int63n(16)),
+			observe:  rng.Intn(4) == 0,
+			children: rng.Intn(3),
+		}
+	}
+	return ops
+}
+
+// runEngineSchedule executes the schedule on the real Engine. Root ops are
+// scheduled up front from time 0; each fired event schedules `children`
+// follow-ups using deterministically derived delays.
+func runEngineSchedule(ops []scheduleOp) []string {
+	e := New()
+	var fired []string
+	var schedule func(label string, op scheduleOp)
+	schedule = func(label string, op scheduleOp) {
+		if op.observe {
+			e.ObserveAt(e.Now()+op.delay, func() {
+				fired = append(fired, "obs:"+label)
+			})
+			return
+		}
+		e.ScheduleAt(e.Now()+op.delay, func() {
+			fired = append(fired, label)
+			for c := 0; c < op.children; c++ {
+				child := scheduleOp{delay: op.delay/2 + Time(c)}
+				schedule(fmt.Sprintf("%s.%d", label, c), child)
+			}
+		})
+	}
+	for i, op := range ops {
+		schedule(fmt.Sprintf("r%d", i), op)
+	}
+	e.Run()
+	return fired
+}
+
+// runReferenceSchedule replays the same schedule through container/heap,
+// reproducing the engine's documented semantics: events in (at, seq) order;
+// observations in (at, obsSeq) order, flushed strictly before the first
+// event with a later timestamp and after the event queue drains.
+func runReferenceSchedule(ops []scheduleOp) []string {
+	type boxed struct {
+		refEvent
+		label    string
+		op       scheduleOp
+		issuedAt Time
+	}
+	var events, obs refHeap
+	byEvent := map[*refEvent]*boxed{}
+	var seq, obsSeq uint64
+	var now Time
+	var fired []string
+
+	var schedule func(label string, op scheduleOp, issuedAt Time)
+	schedule = func(label string, op scheduleOp, issuedAt Time) {
+		at := issuedAt + op.delay
+		if op.observe {
+			obsSeq++
+			b := &boxed{refEvent: refEvent{at: at, seq: obsSeq}, label: "obs:" + label, op: op, issuedAt: at}
+			byEvent[&b.refEvent] = b
+			heap.Push(&obs, &b.refEvent)
+			return
+		}
+		seq++
+		b := &boxed{refEvent: refEvent{at: at, seq: seq}, label: label, op: op, issuedAt: at}
+		byEvent[&b.refEvent] = b
+		heap.Push(&events, &b.refEvent)
+	}
+	for i, op := range ops {
+		schedule(fmt.Sprintf("r%d", i), op, 0)
+	}
+	flushObsBefore := func(limit Time, inclusive bool) {
+		for len(obs) > 0 && (obs[0].at < limit || (inclusive && obs[0].at == limit)) {
+			b := byEvent[heap.Pop(&obs).(*refEvent)]
+			if now < b.at {
+				now = b.at
+			}
+			fired = append(fired, b.label)
+		}
+	}
+	for len(events) > 0 {
+		flushObsBefore(events[0].at, false)
+		b := byEvent[heap.Pop(&events).(*refEvent)]
+		now = b.at
+		fired = append(fired, b.label)
+		for c := 0; c < b.op.children; c++ {
+			child := scheduleOp{delay: b.op.delay/2 + Time(c)}
+			schedule(fmt.Sprintf("%s.%d", b.label, c), child, now)
+		}
+	}
+	flushObsBefore(^Time(0), true)
+	return fired
+}

@@ -9,7 +9,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -49,23 +48,74 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
+// eventQueue is a binary min-heap of events ordered by (at, seq), stored by
+// value. The sift operations are hand-rolled rather than going through
+// container/heap: events are pushed and popped once per simulated event on
+// the hottest loop in the simulator, and the interface-based heap would box
+// every event in a separate allocation. The backing array is reused across
+// push/pop cycles, so steady-state scheduling allocates nothing (amortized
+// growth aside). Ordering is identical to the previous container/heap
+// implementation: strict weak order on (at, seq), seq never repeats.
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// less orders the heap by timestamp, then FIFO insertion order.
+//
+//dylect:hotpath
+func (h eventQueue) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// push inserts ev and restores the heap property. Hot but deliberately not
+// //dylect:hotpath: the append reuses the backing array popped down earlier,
+// so growth is amortized away in steady state.
+func (h *eventQueue) push(ev event) {
+	q := append(*h, ev)
+	// Sift up.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+// pop removes and returns the minimum event. The vacated slot's closure is
+// cleared so the queue does not pin dead callbacks (and their captures) for
+// the rest of the run.
+//
+//dylect:hotpath
+func (h *eventQueue) pop() event {
+	q := *h
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n].fn = nil
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
 	return ev
 }
 
@@ -83,11 +133,11 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now      Time
 	seq      uint64
-	events   eventHeap
+	events   eventQueue
 	executed uint64
 
 	obsSeq uint64
-	obs    eventHeap
+	obs    eventQueue
 	inObs  bool
 }
 
@@ -120,7 +170,7 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 		panic(fmt.Sprintf("engine: scheduling event at %v in the past (now %v)", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // ObserveAt registers a read-only observation callback. fn runs once every
@@ -140,7 +190,7 @@ func (e *Engine) ObserveAt(at Time, fn func()) {
 		panic(fmt.Sprintf("engine: scheduling observation at %v in the past (now %v)", at, e.now))
 	}
 	e.obsSeq++
-	heap.Push(&e.obs, &event{at: at, seq: e.obsSeq, fn: fn})
+	e.obs.push(event{at: at, seq: e.obsSeq, fn: fn})
 }
 
 // flushObsBefore runs observations due strictly before the next event time
@@ -167,7 +217,7 @@ func (e *Engine) flushObsThrough(horizon Time) {
 //
 //dylect:hotpath
 func (e *Engine) runObs() {
-	ob := heap.Pop(&e.obs).(*event)
+	ob := e.obs.pop()
 	if e.now < ob.at {
 		e.now = ob.at
 	}
@@ -186,7 +236,7 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	e.flushObsBefore(e.events[0].at)
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.executed++
 	ev.fn()
@@ -223,6 +273,8 @@ func (e *Engine) Run() {
 // Useful when a simulation window ends and in-flight work should not be
 // accounted.
 func (e *Engine) Drain() {
+	clear(e.events) // drop closure references before truncating
+	clear(e.obs)
 	e.events = e.events[:0]
 	e.obs = e.obs[:0]
 }

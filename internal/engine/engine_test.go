@@ -186,6 +186,7 @@ func TestTimeString(t *testing.T) {
 }
 
 func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	e := New()
 	b.ResetTimer()

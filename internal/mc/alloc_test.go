@@ -1,0 +1,78 @@
+package mc
+
+import (
+	"testing"
+
+	"dylect/internal/comp"
+	"dylect/internal/dram"
+	"dylect/internal/engine"
+)
+
+// Dynamic backing for the //dylect:hotpath annotations on mc.Base: the
+// per-access translation lookups (unit arithmetic, level checks, CTE table
+// addressing, Recency-List touches) and the residents bookkeeping must not
+// allocate in steady state.
+
+func allocBase(t *testing.T) *Base {
+	t.Helper()
+	eng := engine.New()
+	d := dram.NewController(eng, dram.DDR4(1, 1, 96)) // 12MB
+	b := NewBase(Params{
+		Eng: eng, DRAM: d,
+		OSBytes:          16 << 20,
+		SizeModel:        comp.NewSizeModel(5, 3.4),
+		FreeTargetBytes:  512 << 10,
+		WithDyLeCTTables: true,
+	})
+	b.SetFunctional(true)
+	return b
+}
+
+func TestBaseLookupsAllocFree(t *testing.T) {
+	b := allocBase(t)
+	var sink uint64
+	var addr uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		addr += 4096
+		u := b.UnitOf(addr % (16 << 20))
+		sink += uint64(b.Level(u))
+		sink += uint64(b.ShortCTE(u))
+		sink += b.UnitAddr(u)
+		sink += b.UnifiedBlockAddr(u)
+		sink += b.PreGatheredBlockAddr(u)
+		sink += b.CounterBlockAddr(u)
+		b.TouchRecency(u)
+	}); n != 0 {
+		t.Fatalf("Base lookups allocated %.1f/op, want 0", n)
+	}
+	_ = sink
+}
+
+func TestResidentBookkeepingAllocFree(t *testing.T) {
+	b := allocBase(t)
+	// The warm-up call AllocsPerRun makes before measuring absorbs the
+	// one-time list allocation; steady-state churn must then be free.
+	if n := testing.AllocsPerRun(1000, func() {
+		b.addResident(1, 7)
+		b.removeResident(1, 7)
+	}); n != 0 {
+		t.Fatalf("addResident/removeResident allocated %.1f/op, want 0", n)
+	}
+}
+
+func TestSpaceLookupsAllocFree(t *testing.T) {
+	b := allocBase(t)
+	var sink uint64
+	var frame uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		frame = (frame + 1) % b.Space.NumFrames()
+		sink += b.Space.FreeChunkBytesInFrame(frame)
+		if b.Space.FrameIsFree(frame) {
+			sink++
+		}
+		sink += b.Space.FrameAddr(frame)
+	}); n != 0 {
+		t.Fatalf("Space lookups allocated %.1f/op, want 0", n)
+	}
+	_ = sink
+}

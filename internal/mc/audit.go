@@ -229,7 +229,13 @@ func (b *Base) auditSpace(rep *invariant.Report) {
 	}
 
 	var chunkBytes uint64
-	for addr, class := range s.chunkOf {
+	perFrame := make([]uint64, s.nFrames)
+	for slot, cc := range s.chunkClass {
+		if cc < 0 {
+			continue
+		}
+		class := int(cc)
+		addr := s.base + uint64(slot)*s.chunkAlign
 		chunkBytes += s.ClassBytes(class)
 		f := s.FrameOf(addr)
 		if f >= s.nFrames {
@@ -237,6 +243,7 @@ func (b *Base) auditSpace(rep *invariant.Report) {
 				"free chunk %#x beyond the data region", addr)
 			continue
 		}
+		perFrame[f] += s.ClassBytes(class)
 		if s.frameFree[f] {
 			rep.Addf(CheckChunkPlacement, invariant.None, int64(f),
 				"free chunk %#x registered inside a free frame", addr)
@@ -244,21 +251,16 @@ func (b *Base) auditSpace(rep *invariant.Report) {
 			rep.Addf(CheckChunkPlacement, invariant.None, int64(f),
 				"free chunk %#x in frame owned by %d, not carved for chunks", addr, b.ownerUnit[f])
 		}
-		if got, ok := s.byFrame[f][addr]; !ok || got != class {
-			rep.Addf(CheckFreeChunkDesync, invariant.None, int64(f),
-				"chunk %#x class %d missing from per-frame index", addr, class)
-		}
 	}
 	if chunkBytes != s.freeChunkBytes {
 		rep.Addf(CheckFreeChunkDesync, invariant.None, invariant.None,
 			"free-chunk ledger %d bytes but registry sums to %d", s.freeChunkBytes, chunkBytes)
 	}
-	for f, m := range s.byFrame {
-		for addr, class := range m {
-			if got, ok := s.chunkOf[addr]; !ok || got != class {
-				rep.Addf(CheckFreeChunkDesync, invariant.None, int64(f),
-					"per-frame chunk %#x class %d missing from registry", addr, class)
-			}
+	for f := uint64(0); f < s.nFrames; f++ {
+		if perFrame[f] != uint64(s.frameChunkBytes[f]) {
+			rep.Addf(CheckFreeChunkDesync, invariant.None, int64(f),
+				"per-frame free-chunk ledger %d bytes but registry sums to %d",
+				s.frameChunkBytes[f], perFrame[f])
 		}
 	}
 }
@@ -272,7 +274,8 @@ func (b *Base) auditChunkFrames(rep *invariant.Report) {
 		unit       int64 // resident unit or invariant.None for a free chunk
 	}
 	spans := make(map[uint64][]span)
-	for frame, lst := range b.residents {
+	for f, lst := range b.residents {
+		frame := uint64(f)
 		for _, u := range lst {
 			st := &b.units[u]
 			if st.level != ML2 || b.Space.FrameOf(st.addr) != frame {
@@ -284,11 +287,14 @@ func (b *Base) auditChunkFrames(rep *invariant.Report) {
 				span{st.addr, st.addr + b.Space.ClassBytes(int(st.class)), int64(u)})
 		}
 	}
-	for frame, m := range b.Space.byFrame {
-		for addr, class := range m {
-			spans[frame] = append(spans[frame],
-				span{addr, addr + b.Space.ClassBytes(class), invariant.None})
+	for slot, cc := range b.Space.chunkClass {
+		if cc < 0 {
+			continue
 		}
+		addr := b.Space.base + uint64(slot)*b.Space.chunkAlign
+		frame := b.Space.FrameOf(addr)
+		spans[frame] = append(spans[frame],
+			span{addr, addr + b.Space.ClassBytes(int(cc)), invariant.None})
 	}
 	for frame, ss := range spans {
 		if b.ownerUnit[frame] != ownerChunks {

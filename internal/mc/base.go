@@ -199,8 +199,10 @@ type Base struct {
 	// residents lists the compressed units whose chunks live in each
 	// carved frame, so a whole chunk frame can be displaced out of a DRAM
 	// page group (Section IV-B: group occupants in ML2 migrate via their
-	// long CTEs).
-	residents map[uint64][]uint64
+	// long CTEs). Indexed by frame; each list is lazily sized to the
+	// 16-residents-per-frame packing bound on first use so steady-state
+	// compression/expansion churn never reallocates it.
+	residents [][]uint64
 
 	unifiedBase    uint64 // machine address of the Unified CTE Table
 	preGatherBase  uint64 // machine address of the Pre-gathered Table
@@ -239,7 +241,6 @@ func NewBase(p Params) *Base {
 		DRAM:           p.DRAM,
 		expandWait:     make(map[uint64][]func()),
 		fetchWait:      make(map[uint64][]func()),
-		residents:      make(map[uint64][]uint64),
 		reservedFrames: make(map[uint64]struct{}),
 	}
 	b.nUnits = p.OSBytes / p.Granularity
@@ -269,6 +270,7 @@ func NewBase(p Params) *Base {
 	b.Rec = NewRecency(b.nUnits)
 	b.CTE = cache.New(cache.Config{SizeBytes: p.CTECacheBytes, LineBytes: 64, Assoc: p.CTEAssoc})
 	b.units = make([]unit, b.nUnits)
+	b.residents = make([][]uint64, b.Space.NumFrames())
 	b.ownerUnit = make([]int64, b.Space.NumFrames())
 	for i := range b.ownerUnit {
 		b.ownerUnit[i] = ownerFree
@@ -291,10 +293,20 @@ func NewBase(p Params) *Base {
 	return b
 }
 
+// addResident is hot but deliberately not //dylect:hotpath: the append is
+// amortized-free because the list is preallocated to the packing bound on
+// first use.
 func (b *Base) addResident(frame, u uint64) {
-	b.residents[frame] = append(b.residents[frame], u)
+	lst := b.residents[frame]
+	if cap(lst) == 0 {
+		// A frame holds at most NumChunkClasses minimum-size chunks, so one
+		// full-bound allocation covers the frame's whole lifetime.
+		lst = make([]uint64, 0, comp.NumChunkClasses)
+	}
+	b.residents[frame] = append(lst, u)
 }
 
+//dylect:hotpath
 func (b *Base) removeResident(frame, u uint64) {
 	lst := b.residents[frame]
 	for i, v := range lst {
@@ -303,10 +315,6 @@ func (b *Base) removeResident(frame, u uint64) {
 			lst = lst[:len(lst)-1]
 			break
 		}
-	}
-	if len(lst) == 0 {
-		delete(b.residents, frame)
-		return
 	}
 	b.residents[frame] = lst
 }

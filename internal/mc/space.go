@@ -23,15 +23,21 @@ type Space struct {
 	nFrames    uint64
 	base       uint64 // machine byte address of frame 0
 
-	freeFrames []uint64       // stack of frame indices (lazy deletion)
-	frameFree  []bool         // truth: frame currently free
-	nFree      uint64         // count of free frames
-	freeChunks [][]uint64     // [class] -> stack of addrs (lazy deletion)
-	chunkOf    map[uint64]int // free chunk addr -> class (presence = free)
-	// byFrame tracks which free chunks live in each carved frame so a
-	// whole frame's free space can be reclaimed when the frame is
-	// displaced to host an ML0 page.
-	byFrame map[uint64]map[uint64]int
+	freeFrames []uint64   // stack of frame indices (lazy deletion)
+	frameFree  []bool     // truth: frame currently free
+	nFree      uint64     // count of free frames
+	freeChunks [][]uint64 // [class] -> stack of addrs (lazy deletion)
+	// chunkClass is the free-chunk registry, indexed by aligned slot
+	// ((addr-base)/chunkAlign, NumChunkClasses slots per frame):
+	// chunkClass[slot] holds the chunk's class when a free chunk starts at
+	// that slot, -1 otherwise. Chunks are registered and unregistered on
+	// every compression, expansion, and split, so the registry is a flat
+	// array rather than the map it used to be: slot updates cannot allocate.
+	chunkClass []int8
+	// frameChunkBytes tracks free chunk bytes inside each carved frame so a
+	// whole frame's free space can be reclaimed when its last byte frees (or
+	// when the frame is displaced to host an ML0 page).
+	frameChunkBytes []uint32
 
 	freeChunkBytes uint64
 }
@@ -41,13 +47,16 @@ type Space struct {
 // (frameBytes/16, matching 256B classes for 4KB frames).
 func NewSpace(base uint64, nFrames, frameBytes uint64) *Space {
 	s := &Space{
-		frameBytes: frameBytes,
-		chunkAlign: frameBytes / comp.NumChunkClasses,
-		nFrames:    nFrames,
-		base:       base,
-		freeChunks: make([][]uint64, comp.NumChunkClasses),
-		chunkOf:    make(map[uint64]int),
-		byFrame:    make(map[uint64]map[uint64]int),
+		frameBytes:      frameBytes,
+		chunkAlign:      frameBytes / comp.NumChunkClasses,
+		nFrames:         nFrames,
+		base:            base,
+		freeChunks:      make([][]uint64, comp.NumChunkClasses),
+		chunkClass:      make([]int8, nFrames*comp.NumChunkClasses),
+		frameChunkBytes: make([]uint32, nFrames),
+	}
+	for i := range s.chunkClass {
+		s.chunkClass[i] = -1
 	}
 	// Populate the Free List back to front so frame 0 allocates first.
 	s.freeFrames = make([]uint64, nFrames)
@@ -137,6 +146,11 @@ func (s *Space) FreeFrame(frame uint64) {
 	s.freeFrames = append(s.freeFrames, frame)
 }
 
+// slotOf returns a chunk address's registry slot.
+//
+//dylect:hotpath
+func (s *Space) slotOf(addr uint64) uint64 { return (addr - s.base) / s.chunkAlign }
+
 // popClass pops the next live free chunk of a class, skipping stale stack
 // entries left by EvictFrameChunks.
 func (s *Space) popClass(class int) (uint64, bool) {
@@ -144,7 +158,7 @@ func (s *Space) popClass(class int) (uint64, bool) {
 	for len(lst) > 0 {
 		addr := lst[len(lst)-1]
 		lst = lst[:len(lst)-1]
-		if c, live := s.chunkOf[addr]; live && c == class {
+		if s.chunkClass[s.slotOf(addr)] == int8(class) {
 			s.freeChunks[class] = lst
 			s.unregister(addr, class)
 			return addr, true
@@ -154,27 +168,17 @@ func (s *Space) popClass(class int) (uint64, bool) {
 	return 0, false
 }
 
+//dylect:hotpath
 func (s *Space) register(addr uint64, class int) {
-	s.chunkOf[addr] = class
-	f := s.FrameOf(addr)
-	m := s.byFrame[f]
-	if m == nil {
-		m = make(map[uint64]int)
-		s.byFrame[f] = m
-	}
-	m[addr] = class
+	s.chunkClass[s.slotOf(addr)] = int8(class)
+	s.frameChunkBytes[s.FrameOf(addr)] += uint32(s.ClassBytes(class))
 	s.freeChunkBytes += s.ClassBytes(class)
 }
 
+//dylect:hotpath
 func (s *Space) unregister(addr uint64, class int) {
-	delete(s.chunkOf, addr)
-	f := s.FrameOf(addr)
-	if m := s.byFrame[f]; m != nil {
-		delete(m, addr)
-		if len(m) == 0 {
-			delete(s.byFrame, f)
-		}
-	}
+	s.chunkClass[s.slotOf(addr)] = -1
+	s.frameChunkBytes[s.FrameOf(addr)] -= uint32(s.ClassBytes(class))
 	s.freeChunkBytes -= s.ClassBytes(class)
 }
 
@@ -209,7 +213,7 @@ func (s *Space) AllocChunk(class int) (addr uint64, carvedFrame bool, ok bool) {
 // fully-freed 4KB region is a free DRAM page); the reclaimed frame index is
 // returned so the caller can update its ownership tracking.
 func (s *Space) FreeChunk(addr uint64, class int) (reclaimed uint64, wasReclaimed bool) {
-	if _, dup := s.chunkOf[addr]; dup {
+	if s.chunkClass[s.slotOf(addr)] >= 0 {
 		panic(fmt.Sprintf("mc: double free of chunk %#x", addr))
 	}
 	if s.frameFree[s.FrameOf(addr)] {
@@ -228,24 +232,24 @@ func (s *Space) FreeChunk(addr uint64, class int) (reclaimed uint64, wasReclaime
 
 // FreeChunkBytesInFrame reports the free chunk bytes currently inside one
 // carved frame.
+//
+//dylect:hotpath
 func (s *Space) FreeChunkBytesInFrame(frame uint64) uint64 {
-	var total uint64
-	for _, class := range s.byFrame[frame] {
-		total += s.ClassBytes(class)
-	}
-	return total
+	return uint64(s.frameChunkBytes[frame])
 }
 
 // EvictFrameChunks removes every free chunk inside the frame from the free
 // lists (stack entries are lazily skipped later). Used when a carved frame
 // is displaced wholesale to host an uncompressed page.
 func (s *Space) EvictFrameChunks(frame uint64) {
-	m := s.byFrame[frame]
-	for addr, class := range m {
-		delete(s.chunkOf, addr)
-		s.freeChunkBytes -= s.ClassBytes(class)
+	first := frame * comp.NumChunkClasses
+	for i := uint64(0); i < comp.NumChunkClasses; i++ {
+		if c := s.chunkClass[first+i]; c >= 0 {
+			s.chunkClass[first+i] = -1
+			s.freeChunkBytes -= s.ClassBytes(int(c))
+		}
 	}
-	delete(s.byFrame, frame)
+	s.frameChunkBytes[frame] = 0
 }
 
 // addRange splits an arbitrary free byte range into maximal class chunks.

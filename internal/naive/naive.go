@@ -72,10 +72,15 @@ func (c *Controller) longKey(u uint64) uint64 { return u * 8 }
 func (c *Controller) Access(addr uint64, write bool, done func()) {
 	c.S.Requests.Inc()
 	u := c.UnitOf(addr)
-	start := c.Eng.Now()
 
+	if c.Functional() {
+		c.accessFunctional(u, addr, write, done)
+		return
+	}
+
+	start := c.Eng.Now()
 	finish := done
-	if !write && !c.Functional() {
+	if !write {
 		finish = func() {
 			c.S.ReadLatency.Observe((c.Eng.Now() - start).Nanoseconds())
 			if done != nil {
@@ -111,6 +116,33 @@ func (c *Controller) Access(addr uint64, write bool, done func()) {
 			proceed()
 		})
 	})
+}
+
+// accessFunctional is the warmup fast path: the same cache-probe and fill
+// sequence as Access with the inline-in-functional-mode After() calls (and
+// their closures) removed.
+func (c *Controller) accessFunctional(u, addr uint64, write bool, done func()) {
+	var hit bool
+	if c.Level(u) != mc.ML2 {
+		hit = c.shortCache.Access(c.shortKey(u), false)
+	} else {
+		hit = c.longCache.Access(c.longKey(u), false)
+	}
+	if c.P.PerfectCTE {
+		hit = true
+	}
+	if hit {
+		c.S.CTEHits.Inc()
+		c.serve(u, addr, write, done)
+		return
+	}
+	c.S.CTEMisses.Inc()
+	c.FetchCTEBlock(c.UnifiedBlockAddr(u), false, nil)
+	c.shortCache.Fill(c.shortKey(u), false)
+	if c.Level(u) == mc.ML2 {
+		c.longCache.Fill(c.longKey(u), false)
+	}
+	c.serve(u, addr, write, done)
 }
 
 // serve performs the data access. Expansions suffer the double-movement

@@ -1,0 +1,217 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Thresholds configures when a dimension drift counts as a regression.
+type Thresholds struct {
+	// Time is the tolerated fractional regression on wall-clock dimensions
+	// (cells/sec, ns/event). Wall clock is machine- and load-dependent, so
+	// time regressions are warnings unless FailOnTime is set.
+	Time float64
+	// Allocs is the tolerated fractional growth of allocs/event. Allocation
+	// counts are a deterministic property of the code (no clock involved),
+	// so exceeding this always fails.
+	Allocs float64
+	// FailOnTime escalates time-dimension regressions from warnings to
+	// failures (for quiet dedicated machines; CI keeps them warn-only).
+	FailOnTime bool
+}
+
+// DefaultThresholds tolerates 10% wall-clock noise and 2% allocs/event
+// drift.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Time: 0.10, Allocs: 0.02}
+}
+
+// Severity grades a finding.
+type Severity string
+
+// Finding severities.
+const (
+	SeverityInfo Severity = "info"
+	SeverityWarn Severity = "warn"
+	SeverityFail Severity = "fail"
+)
+
+// Finding is one detected drift between two snapshots.
+type Finding struct {
+	Scope    string // "total", "design:dylect", or "cell:<name>"
+	Dim      string // "cellsPerSec", "nsPerEvent", "allocsPerEvent", "events"
+	Old, New float64
+	Ratio    float64 // new/old
+	Severity Severity
+	Msg      string
+}
+
+// Report is the outcome of comparing two snapshots.
+type Report struct {
+	Old, New *Snapshot
+	// Speedup is new total cells/sec over old (values > 1 are improvements).
+	Speedup  float64
+	Findings []Finding
+	// EnvComparable is false when the snapshots come from different CPU
+	// models or go versions; wall-clock findings are then downgraded info.
+	EnvComparable bool
+}
+
+// Failed reports whether any finding is a hard failure.
+func (r *Report) Failed() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SeverityFail {
+			return true
+		}
+	}
+	return false
+}
+
+// Warnings counts warn-level findings.
+func (r *Report) Warnings() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == SeverityWarn {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare diffs two snapshots under the thresholds. Snapshots of different
+// suite versions, or with different cell sets, are not comparable: the
+// baseline must be refreshed instead.
+func Compare(oldSnap, newSnap *Snapshot, th Thresholds) (*Report, error) {
+	for _, s := range []*Snapshot{oldSnap, newSnap} {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if oldSnap.Suite != newSnap.Suite {
+		return nil, fmt.Errorf("perfbench: suite mismatch: baseline %q vs new %q; refresh the baseline",
+			oldSnap.Suite, newSnap.Suite)
+	}
+	oldNames := strings.Join(oldSnap.SortedCellNames(), ",")
+	newNames := strings.Join(newSnap.SortedCellNames(), ",")
+	if oldNames != newNames {
+		return nil, fmt.Errorf("perfbench: cell sets differ:\n  baseline: %s\n  new:      %s\nrefresh the baseline",
+			oldNames, newNames)
+	}
+	r := &Report{
+		Old: oldSnap, New: newSnap,
+		EnvComparable: oldSnap.Env.CPU == newSnap.Env.CPU &&
+			oldSnap.Env.GoVersion == newSnap.Env.GoVersion,
+	}
+	if oldSnap.Total.CellsPerSec > 0 {
+		r.Speedup = newSnap.Total.CellsPerSec / oldSnap.Total.CellsPerSec
+	}
+
+	timeSeverity := SeverityWarn
+	if th.FailOnTime {
+		timeSeverity = SeverityFail
+	}
+	if !r.EnvComparable {
+		timeSeverity = SeverityInfo
+	}
+
+	// Event-count drift per cell is informational: an intentional model
+	// change legitimately changes the event stream, but the reader should
+	// know the per-event dimensions divide by different work.
+	for _, oc := range oldSnap.Cells {
+		nc, ok := newSnap.CellByName(oc.Name)
+		if !ok {
+			continue // unreachable after the name-set check
+		}
+		if nc.Events != oc.Events {
+			r.Findings = append(r.Findings, Finding{
+				Scope: "cell:" + oc.Name, Dim: "events",
+				Old: float64(oc.Events), New: float64(nc.Events),
+				Ratio: ratio(float64(nc.Events), float64(oc.Events)), Severity: SeverityInfo,
+				Msg: fmt.Sprintf("simulated event count changed %d -> %d (model change?)", oc.Events, nc.Events),
+			})
+		}
+	}
+
+	scopes := []struct {
+		name     string
+		old, new Aggregate
+	}{{"total", oldSnap.Total, newSnap.Total}}
+	for _, od := range oldSnap.Designs {
+		for _, nd := range newSnap.Designs {
+			if od.Design == nd.Design {
+				scopes = append(scopes, struct {
+					name     string
+					old, new Aggregate
+				}{"design:" + od.Design, od, nd})
+			}
+		}
+	}
+	for _, sc := range scopes {
+		r.check(sc.name, "cellsPerSec", sc.old.CellsPerSec, sc.new.CellsPerSec, -th.Time, timeSeverity)
+		r.check(sc.name, "nsPerEvent", sc.old.NSPerEvent, sc.new.NSPerEvent, th.Time, timeSeverity)
+		r.check(sc.name, "allocsPerEvent", sc.old.AllocsPerEvent, sc.new.AllocsPerEvent, th.Allocs, SeverityFail)
+	}
+	return r, nil
+}
+
+// check appends a finding when newV drifted beyond the tolerance in the bad
+// direction. tol > 0 means growth is bad (cost dimensions); tol < 0 means
+// shrinking is bad (rate dimensions), with |tol| the tolerated fraction.
+func (r *Report) check(scope, dim string, oldV, newV, tol float64, sev Severity) {
+	if oldV <= 0 || math.IsNaN(oldV) || math.IsNaN(newV) {
+		return
+	}
+	bad := false
+	if tol >= 0 {
+		bad = newV > oldV*(1+tol)
+	} else {
+		bad = newV < oldV*(1+tol) // tol negative: tolerated shrink
+	}
+	if !bad {
+		return
+	}
+	r.Findings = append(r.Findings, Finding{
+		Scope: scope, Dim: dim, Old: oldV, New: newV,
+		Ratio: ratio(newV, oldV), Severity: sev,
+		Msg: fmt.Sprintf("%s %s regressed %.4g -> %.4g (%.2fx, tolerance %.0f%%)",
+			scope, dim, oldV, newV, ratio(newV, oldV), math.Abs(tol)*100),
+	})
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Render formats the report as the human-readable table the CLI prints.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "suite %s: baseline %s  vs  new %s\n", r.New.Suite, r.Old.CreatedAt, r.New.CreatedAt)
+	if !r.EnvComparable {
+		fmt.Fprintf(&b, "note: environments differ (%s/%s vs %s/%s); wall-clock dims informational only\n",
+			r.Old.Env.CPU, r.Old.Env.GoVersion, r.New.Env.CPU, r.New.Env.GoVersion)
+	}
+	fmt.Fprintf(&b, "%-16s %14s %14s %9s   %14s %14s %9s\n",
+		"", "cells/sec old", "cells/sec new", "ratio", "allocs/ev old", "allocs/ev new", "ratio")
+	row := func(name string, o, n Aggregate) {
+		fmt.Fprintf(&b, "%-16s %14.3f %14.3f %8.2fx   %14.1f %14.1f %8.2fx\n",
+			name, o.CellsPerSec, n.CellsPerSec, ratio(n.CellsPerSec, o.CellsPerSec),
+			o.AllocsPerEvent, n.AllocsPerEvent, ratio(n.AllocsPerEvent, o.AllocsPerEvent))
+	}
+	row("total", r.Old.Total, r.New.Total)
+	for _, od := range r.Old.Designs {
+		for _, nd := range r.New.Designs {
+			if od.Design == nd.Design {
+				row(od.Design, od, nd)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "overall speedup: %.2fx cells/sec\n", r.Speedup)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "[%s] %s\n", f.Severity, f.Msg)
+	}
+	return b.String()
+}

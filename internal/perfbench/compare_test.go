@@ -1,0 +1,211 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func findingFor(r *Report, scope, dim string) (Finding, bool) {
+	for _, f := range r.Findings {
+		if f.Scope == scope && f.Dim == dim {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}
+
+func TestCompareCleanWhenIdentical(t *testing.T) {
+	r, err := Compare(testSnapshot(1), testSnapshot(1), DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if r.Failed() || len(r.Findings) != 0 {
+		t.Fatalf("identical snapshots produced findings: %+v", r.Findings)
+	}
+	if r.Speedup != 1 {
+		t.Fatalf("speedup = %v, want 1", r.Speedup)
+	}
+	if !r.EnvComparable {
+		t.Fatal("same env not flagged comparable")
+	}
+}
+
+func TestCompareImprovementIsClean(t *testing.T) {
+	// Halving wall time and allocs is an improvement, never a finding.
+	r, err := Compare(testSnapshot(1), testSnapshot(0.5), DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if r.Failed() || r.Warnings() != 0 {
+		t.Fatalf("improvement produced findings: %+v", r.Findings)
+	}
+	if r.Speedup < 1.99 || r.Speedup > 2.01 {
+		t.Fatalf("speedup = %v, want ~2", r.Speedup)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	oldSnap := testSnapshot(1)
+	newSnap := testSnapshot(1)
+	// Inflate one cell's allocs 10% — past the 2% alloc threshold but with
+	// wall time untouched.
+	newSnap.Cells[0].Allocs = newSnap.Cells[0].Allocs * 11 / 10
+	newSnap.Cells[0].derive()
+	newSnap.aggregate()
+	r, err := Compare(oldSnap, newSnap, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !r.Failed() {
+		t.Fatalf("alloc regression did not fail; findings: %+v", r.Findings)
+	}
+	f, ok := findingFor(r, "total", "allocsPerEvent")
+	if !ok || f.Severity != SeverityFail {
+		t.Fatalf("missing total allocsPerEvent fail finding: %+v", r.Findings)
+	}
+	// The regressed cell is a dylect cell, so the design scope fails too.
+	if f, ok := findingFor(r, "design:dylect", "allocsPerEvent"); !ok || f.Severity != SeverityFail {
+		t.Fatalf("missing design-scope alloc finding: %+v", r.Findings)
+	}
+	// The untouched design stays clean.
+	if _, ok := findingFor(r, "design:tmcc", "allocsPerEvent"); ok {
+		t.Fatalf("clean design flagged: %+v", r.Findings)
+	}
+}
+
+func TestCompareTimeRegressionWarnsByDefault(t *testing.T) {
+	oldSnap := testSnapshot(1)
+	newSnap := testSnapshot(1)
+	for i := range newSnap.Cells {
+		newSnap.Cells[i].WallNS = newSnap.Cells[i].WallNS * 3 / 2 // +50%
+		newSnap.Cells[i].derive()
+	}
+	newSnap.aggregate()
+
+	r, err := Compare(oldSnap, newSnap, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if r.Failed() {
+		t.Fatalf("time-only regression hard-failed by default: %+v", r.Findings)
+	}
+	if r.Warnings() == 0 {
+		t.Fatalf("time regression produced no warnings: %+v", r.Findings)
+	}
+	f, ok := findingFor(r, "total", "cellsPerSec")
+	if !ok || f.Severity != SeverityWarn {
+		t.Fatalf("missing cellsPerSec warn: %+v", r.Findings)
+	}
+
+	// FailOnTime escalates the same drift to a failure.
+	th := DefaultThresholds()
+	th.FailOnTime = true
+	r, err = Compare(oldSnap, newSnap, th)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !r.Failed() {
+		t.Fatalf("FailOnTime did not escalate: %+v", r.Findings)
+	}
+}
+
+func TestCompareDifferentEnvDowngradesTime(t *testing.T) {
+	oldSnap := testSnapshot(1)
+	newSnap := testSnapshot(1)
+	newSnap.Env.CPU = "othercpu"
+	for i := range newSnap.Cells {
+		newSnap.Cells[i].WallNS *= 2 // 2x slower, but on different hardware
+		newSnap.Cells[i].derive()
+	}
+	newSnap.aggregate()
+	r, err := Compare(oldSnap, newSnap, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if r.EnvComparable {
+		t.Fatal("different CPUs flagged comparable")
+	}
+	if r.Failed() || r.Warnings() != 0 {
+		t.Fatalf("cross-env time drift escalated past info: %+v", r.Findings)
+	}
+	if f, ok := findingFor(r, "total", "cellsPerSec"); !ok || f.Severity != SeverityInfo {
+		t.Fatalf("cross-env drift not recorded as info: %+v", r.Findings)
+	}
+}
+
+func TestCompareAllocFailureSurvivesEnvChange(t *testing.T) {
+	// allocs/event is deterministic: a different machine is no excuse.
+	oldSnap := testSnapshot(1)
+	newSnap := testSnapshot(1)
+	newSnap.Env.GoVersion = "go1.99.0"
+	for i := range newSnap.Cells {
+		newSnap.Cells[i].Allocs *= 2
+		newSnap.Cells[i].derive()
+	}
+	newSnap.aggregate()
+	r, err := Compare(oldSnap, newSnap, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !r.Failed() {
+		t.Fatalf("alloc doubling on new env not failed: %+v", r.Findings)
+	}
+}
+
+func TestCompareEventDriftIsInfo(t *testing.T) {
+	oldSnap := testSnapshot(1)
+	newSnap := testSnapshot(1)
+	newSnap.Cells[0].Events += 5
+	newSnap.Cells[0].derive()
+	newSnap.aggregate()
+	r, err := Compare(oldSnap, newSnap, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	f, ok := findingFor(r, "cell:"+newSnap.Cells[0].Name, "events")
+	if !ok || f.Severity != SeverityInfo {
+		t.Fatalf("event drift not recorded as info: %+v", r.Findings)
+	}
+}
+
+func TestCompareRejectsMismatchedSuites(t *testing.T) {
+	oldSnap := testSnapshot(1)
+	newSnap := testSnapshot(1)
+	newSnap.Suite = "pinned-v2"
+	if _, err := Compare(oldSnap, newSnap, DefaultThresholds()); err == nil ||
+		!strings.Contains(err.Error(), "suite mismatch") {
+		t.Fatalf("suite mismatch not rejected: %v", err)
+	}
+
+	renamed := testSnapshot(1)
+	renamed.Cells[0].Name = "omnetpp/dylect/high"
+	renamed.aggregate()
+	if _, err := Compare(oldSnap, renamed, DefaultThresholds()); err == nil ||
+		!strings.Contains(err.Error(), "cell sets differ") {
+		t.Fatalf("cell-set mismatch not rejected: %v", err)
+	}
+}
+
+func TestSuiteIsPinnedAndWellFormed(t *testing.T) {
+	cells := Suite()
+	if len(cells) != 12 {
+		t.Fatalf("suite has %d cells, want 12 (4 designs x 3 workloads)", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.Name] {
+			t.Fatalf("duplicate cell name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Seed != 0 || c.Window == 0 || c.WarmupAccesses == 0 {
+			t.Fatalf("cell %q not fully pinned: %+v", c.Name, c)
+		}
+	}
+	// Two calls must agree exactly — the suite is a constant.
+	again := Suite()
+	for i := range cells {
+		if cells[i] != again[i] {
+			t.Fatalf("Suite() not stable at index %d: %+v vs %+v", i, cells[i], again[i])
+		}
+	}
+}

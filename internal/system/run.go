@@ -133,6 +133,12 @@ type Result struct {
 	Opts   Options
 	Window engine.Time
 
+	// Events counts discrete-event-engine events executed over the run
+	// (timed window; warmup is functional and schedules none). It is a
+	// simulator-throughput denominator for the benchmark harness
+	// (internal/perfbench), not a paper metric: RawResult never exports it.
+	Events uint64
+
 	Insts    uint64
 	IPC      float64
 	MemRefs  uint64
@@ -433,6 +439,7 @@ func collect(s *System, opts Options, window engine.Time, dramBytes uint64) *Res
 	r := &Result{
 		Opts:        opts,
 		Window:      window,
+		Events:      s.Eng.Executed(),
 		Insts:       s.Insts(),
 		IPC:         s.IPC(window),
 		MemRefs:     s.MemRefs(),

@@ -110,6 +110,13 @@ type coreCtx struct {
 	insts       uint64
 	memRefs     uint64
 	l3Misses    uint64
+
+	// pfBuf is scratch for prefetcher output, reused across accesses so the
+	// per-access hot path stays allocation-free.
+	pfBuf []uint64
+	// stepFn is the arm() callback, built once per core so re-arming (which
+	// happens once per batch yield) does not allocate a fresh closure.
+	stepFn func()
 }
 
 // New assembles a system over a translator and per-core generators.
@@ -131,7 +138,15 @@ func New(cfg Config, eng *engine.Engine, d *dram.Controller, tr mc.Translator,
 			nlL1:   cache.NewNextLine(),
 			stL1:   cache.NewStride(2),
 			stL2:   cache.NewStride(4),
+			pfBuf:  make([]uint64, 0, 8),
 		})
+	}
+	for _, c := range s.cores {
+		c := c
+		c.stepFn = func() {
+			c.armed = false
+			c.step()
+		}
 	}
 	return s
 }
@@ -228,25 +243,27 @@ func (s *System) fill(c *coreCtx, line uint64, dirty, functional bool) {
 // are promoted from L2/L3 when present (no memory-side prefetch).
 func (c *coreCtx) prefetchL1(stream, line uint64) {
 	lineAddr := line / 64
-	var want []uint64
-	want = append(want, c.nlL1.Observe(lineAddr)...)
-	want = append(want, c.stL1.Observe(stream, lineAddr)...)
+	want := c.nlL1.Observe(lineAddr, c.pfBuf[:0])
+	want = c.stL1.Observe(stream, lineAddr, want)
 	for _, la := range want {
 		addr := la * 64
 		if c.l2.Probe(addr) || c.sys.l3.Probe(addr) {
 			c.l1.Fill(addr, false)
 		}
 	}
+	c.pfBuf = want[:0]
 }
 
 // prefetchL2 runs the L2 stride prefetcher (degree 4).
 func (c *coreCtx) prefetchL2(stream, line uint64) {
-	for _, la := range c.stL2.Observe(stream, line/64) {
+	want := c.stL2.Observe(stream, line/64, c.pfBuf[:0])
+	for _, la := range want {
 		addr := la * 64
 		if c.sys.l3.Probe(addr) {
 			c.l2.Fill(addr, false)
 		}
 	}
+	c.pfBuf = want[:0]
 }
 
 // ResetStats clears all measurement state at the warmup boundary (cache and
@@ -293,10 +310,7 @@ func (c *coreCtx) arm() {
 	if at < c.sys.Eng.Now() {
 		at = c.sys.Eng.Now()
 	}
-	c.sys.Eng.ScheduleAt(at, func() {
-		c.armed = false
-		c.step()
-	})
+	c.sys.Eng.ScheduleAt(at, c.stepFn)
 }
 
 // step runs the interval model: retire instructions and issue memory

@@ -202,6 +202,7 @@ func TestWalkerResetStats(t *testing.T) {
 }
 
 func BenchmarkTLBLookup(b *testing.B) {
+	b.ReportAllocs()
 	tl := NewTLB(1024, 8)
 	for va := uint64(0); va < 2<<30; va += PageSize2M {
 		tl.Insert(va, true)

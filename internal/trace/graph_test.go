@@ -187,6 +187,7 @@ func TestPropertyGraphCSRIntegrity(t *testing.T) {
 }
 
 func BenchmarkBFSWalkerNext(b *testing.B) {
+	b.ReportAllocs()
 	g := GenerateGraph(1, 100000, 16)
 	w := NewBFSWalker(g, 1)
 	var a Access

@@ -280,6 +280,7 @@ func TestPaperSpeedupsRecorded(t *testing.T) {
 }
 
 func BenchmarkGeneratorNext(b *testing.B) {
+	b.ReportAllocs()
 	w, _ := ByName("bfs")
 	g := w.NewGenerator(0, 1)
 	var a Access

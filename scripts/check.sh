@@ -23,7 +23,14 @@
 #            boot dylect-served on an ephemeral port, run the client
 #            subcommand against it, SIGTERM, and require a clean drain
 #            (the full chaos soak runs under the race step)
-#   fuzz     10s smoke per fuzz target in ./internal/comp
+#   fuzz     10s smoke per fuzz target in ./internal/comp and the
+#            BENCH_*.json snapshot decoder in ./internal/perfbench
+#   bench    perf-trajectory gate: run the pinned dylect-bench suite and
+#            compare against the newest committed BENCH_*.json snapshot.
+#            allocs/event drift hard-fails; wall-clock drift warns only
+#            (pass -fail-on-time via dylect-bench directly to escalate).
+#            BENCH_COUNT sets the repetitions (default 1 locally, CI uses
+#            more); BENCH_OUT keeps the fresh snapshot as an artifact
 #
 # Run a subset with e.g. `scripts/check.sh build lint`. No arguments runs
 # everything. FUZZTIME overrides the per-target fuzz budget (default 10s).
@@ -32,13 +39,13 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(build vet lint contracts race golden faults obs serve fuzz)
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint contracts race golden faults obs serve fuzz bench)
 
 for s in "${steps[@]}"; do
 	case "$s" in
-	build | vet | lint | contracts | race | golden | faults | obs | serve | fuzz) ;;
+	build | vet | lint | contracts | race | golden | faults | obs | serve | fuzz | bench) ;;
 	*)
-		echo "unknown step '$s' (want: build vet lint contracts race golden faults obs serve fuzz)" >&2
+		echo "unknown step '$s' (want: build vet lint contracts race golden faults obs serve fuzz bench)" >&2
 		exit 2
 		;;
 	esac
@@ -161,15 +168,30 @@ fi
 if want fuzz; then
 	# `go test -fuzz` refuses a pattern matching more than one target, so
 	# enumerate the targets and smoke each one briefly.
-	targets=$(go test -list '^Fuzz' ./internal/comp | grep '^Fuzz' || true)
-	if [ -z "$targets" ]; then
-		echo "no fuzz targets found in ./internal/comp" >&2
+	for pkg in ./internal/comp ./internal/perfbench; do
+		targets=$(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
+		if [ -z "$targets" ]; then
+			echo "no fuzz targets found in $pkg" >&2
+			exit 1
+		fi
+		for t in $targets; do
+			echo "== fuzz $t ($FUZZTIME, $pkg)"
+			go test -run='^$' -fuzz="^${t}\$" -fuzztime="$FUZZTIME" "$pkg"
+		done
+	done
+fi
+
+if want bench; then
+	echo "== perf trajectory (pinned suite vs newest committed BENCH_*.json)"
+	base="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)"
+	if [ -z "$base" ]; then
+		echo "no committed BENCH_*.json baseline found" >&2
 		exit 1
 	fi
-	for t in $targets; do
-		echo "== fuzz $t ($FUZZTIME)"
-		go test -run='^$' -fuzz="^${t}\$" -fuzztime="$FUZZTIME" ./internal/comp
-	done
+	bench_out="${BENCH_OUT:-$(mktemp)}"
+	go run ./cmd/dylect-bench -count "${BENCH_COUNT:-1}" -quiet -out "$bench_out"
+	go run ./cmd/dylect-bench -compare "$base" "$bench_out"
+	[ -n "${BENCH_OUT:-}" ] || rm -f "$bench_out"
 fi
 
 echo "all checks passed"
