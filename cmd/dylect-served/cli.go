@@ -51,6 +51,9 @@ func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
 		drainGrace = fs.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight requests before abandoning their waits")
 
 		metricsSamples = fs.Int("metrics-samples", 0, "interval samples per cell (shed to 0 under memory pressure)")
+
+		storeDir      = fs.String("store", "", "durable result store directory: completed cells persist, verify on load, and survive restarts")
+		storeBudgetMB = fs.Int64("store-budget-mb", 0, "store byte budget in MiB; least-recently-used records evict beyond it (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,8 +79,26 @@ func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
 	cfg.Audit = *audit
 	cfg.MetricsSamples = *metricsSamples
 
+	var cp *harness.Checkpoint
+	if *storeDir != "" {
+		var err error
+		cp, err = harness.OpenCheckpointStore(*storeDir, cfg, harness.StoreOptions{
+			MaxBytes: *storeBudgetMB << 20,
+			Log:      errOut,
+		})
+		if err != nil {
+			fmt.Fprintf(errOut, "store: %v\n", err)
+			return 1
+		}
+		defer cp.Close()
+		st := cp.StoreStats()
+		fmt.Fprintf(errOut, "store %s: %d records verified, %d quarantined at open\n",
+			*storeDir, st.OpenVerified, st.OpenQuarantined)
+	}
+
 	srv := serve.New(serve.Options{
 		Config:         cfg,
+		Checkpoint:     cp,
 		Jobs:           *jobs,
 		CellTimeout:    *cellTO,
 		Retries:        *retries,

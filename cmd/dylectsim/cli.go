@@ -28,21 +28,22 @@ func cli(ctx context.Context, args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("dylectsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		exp        = fs.String("exp", "all", "experiment name (see -list) or 'all'")
-		list       = fs.Bool("list", false, "list experiments and exit")
-		quick      = fs.Bool("quick", false, "fast config: 4 workloads, shorter windows")
-		workloads  = fs.String("workloads", "", "comma-separated workload subset")
-		scale      = fs.Uint64("scale", 0, "footprint scale divisor override")
-		warmup     = fs.Uint64("warmup", 0, "warmup accesses per core override")
-		windowUS   = fs.Uint64("window", 0, "timed window in microseconds override")
-		seed       = fs.Int64("seed", 0, "workload generator seed")
-		jobs       = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		jsonOut    = fs.String("json", "", "also dump raw per-run results as JSON to this file (written atomically)")
-		audit      = fs.Bool("audit", false, "walk translator-state invariants during every run; violations fail the cell")
-		checkpoint = fs.String("checkpoint", "", "persist completed cells to this directory and resume from it")
-		cellTO     = fs.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
-		retries    = fs.Int("retries", 0, "retry a cell's transient failures up to this many times")
-		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between retries (scaled by attempt)")
+		exp           = fs.String("exp", "all", "experiment name (see -list) or 'all'")
+		list          = fs.Bool("list", false, "list experiments and exit")
+		quick         = fs.Bool("quick", false, "fast config: 4 workloads, shorter windows")
+		workloads     = fs.String("workloads", "", "comma-separated workload subset")
+		scale         = fs.Uint64("scale", 0, "footprint scale divisor override")
+		warmup        = fs.Uint64("warmup", 0, "warmup accesses per core override")
+		windowUS      = fs.Uint64("window", 0, "timed window in microseconds override")
+		seed          = fs.Int64("seed", 0, "workload generator seed")
+		jobs          = fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut       = fs.String("json", "", "also dump raw per-run results as JSON to this file (written atomically)")
+		audit         = fs.Bool("audit", false, "walk translator-state invariants during every run; violations fail the cell")
+		checkpoint    = fs.String("checkpoint", "", "persist completed cells to this directory and resume from it")
+		storeBudgetMB = fs.Int64("store-budget-mb", 0, "checkpoint store byte budget in MiB; least-recently-used records evict beyond it (0 = unbounded)")
+		cellTO        = fs.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
+		retries       = fs.Int("retries", 0, "retry a cell's transient failures up to this many times")
+		backoff       = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between retries (scaled by attempt)")
 
 		metricsOut     = fs.String("metrics-out", "", "write per-cell interval samples as NDJSON to this file (written atomically)")
 		metricsSamples = fs.Int("metrics-samples", 32, "interval samples per cell when -metrics-out is set")
@@ -106,12 +107,21 @@ func cli(ctx context.Context, args []string, out, errOut io.Writer) int {
 	}
 
 	runner := harness.NewRunner(cfg)
+	var cp *harness.Checkpoint
 	if *checkpoint != "" {
-		cp, err := harness.OpenCheckpoint(*checkpoint, cfg)
+		var err error
+		cp, err = harness.OpenCheckpointStore(*checkpoint, cfg, harness.StoreOptions{
+			MaxBytes: *storeBudgetMB << 20,
+			Log:      errOut,
+		})
 		if err != nil {
 			fmt.Fprintf(out, "%v\n", err)
 			return 2
 		}
+		defer cp.Close()
+		st := cp.StoreStats()
+		fmt.Fprintf(errOut, "store %s: %d records verified, %d quarantined at open\n",
+			*checkpoint, st.OpenVerified, st.OpenQuarantined)
 		runner.AttachCheckpoint(cp)
 	}
 	var selected []harness.Experiment
@@ -130,11 +140,11 @@ func cli(ctx context.Context, args []string, out, errOut io.Writer) int {
 
 	start := time.Now()
 	outs, err := harness.RunExperiments(runner, selected, harness.ExecOptions{
-		Jobs:        *jobs,
-		Progress:    progressLine(errOut, start),
-		Context:     ctx,
-		CellTimeout: *cellTO,
-		Retries:     *retries,
+		Jobs:         *jobs,
+		Progress:     progressLine(errOut, start),
+		Context:      ctx,
+		CellTimeout:  *cellTO,
+		Retries:      *retries,
 		RetryBackoff: *backoff,
 	})
 	fmt.Fprintln(errOut)
@@ -155,6 +165,11 @@ func cli(ctx context.Context, args []string, out, errOut io.Writer) int {
 		}
 	}
 	fmt.Fprintf(errOut, "%d simulations in %.1fs\n", runner.Runs(), time.Since(start).Seconds())
+	if cp != nil {
+		st := cp.StoreStats()
+		fmt.Fprintf(errOut, "store: %d hits, %d misses, %d puts, %d evictions, %d quarantined\n",
+			st.Hits, st.Misses, st.Puts, st.Evictions, st.Quarantined)
+	}
 
 	export := func(name, path string, gen func() ([]byte, error)) bool {
 		if path == "" {

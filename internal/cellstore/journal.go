@@ -1,0 +1,92 @@
+package cellstore
+
+import (
+	"os"
+	"strings"
+
+	"dylect/internal/atomicio"
+)
+
+// journal is the append-only recency log backing the LRU evictor. Each line
+// is one record address in touch order, so the file order IS the recency
+// order and replay needs no timestamps or sequence numbers. Crash tolerance
+// falls out of the format: a torn final line is not a valid 64-hex address
+// and is skipped, and the journal only ever refines recency — membership is
+// defined by the verified record files, so a lost or stale journal degrades
+// to scan-order recency, never to serving or losing data.
+type journal struct {
+	path  string
+	f     *os.File
+	lines int
+}
+
+// openJournal reads the existing journal (tolerating a torn tail) and opens
+// it for appends. It returns the replayable touch order, oldest first.
+func openJournal(path string) ([]string, *journal, error) {
+	var order []string
+	lines := 0
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			lines++
+			if validAddr(line) {
+				order = append(order, line)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return order, &journal{path: path, f: f, lines: lines}, nil
+}
+
+// validAddr reports whether a journal line is a well-formed record address
+// (64 lowercase hex characters). Torn or foreign lines fail this and are
+// ignored on replay.
+func validAddr(line string) bool {
+	if len(line) != 64 {
+		return false
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// append logs one touch. No fsync: losing recent touches in a crash only
+// blurs eviction order, it cannot corrupt data.
+func (j *journal) append(addr string) error {
+	if _, err := j.f.WriteString(addr + "\n"); err != nil {
+		return err
+	}
+	j.lines++
+	return nil
+}
+
+// compact atomically rewrites the journal to the given touch order (oldest
+// first) and reopens the append handle on the new file.
+func (j *journal) compact(order []string) error {
+	var b strings.Builder
+	for _, addr := range order {
+		b.WriteString(addr)
+		b.WriteByte('\n')
+	}
+	if err := atomicio.WriteFile(j.path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f.Close()
+	j.f = f
+	j.lines = len(order)
+	return nil
+}
+
+func (j *journal) close() error { return j.f.Close() }

@@ -3,74 +3,154 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
 	"dylect/internal/atomicio"
+	"dylect/internal/cellstore"
 	"dylect/internal/metrics"
 	"dylect/internal/system"
 )
 
-// Checkpointing makes sweeps resumable: every completed cell is persisted as
-// one JSON file (written crash-safely via temp+rename), keyed by the cell's
-// full normalized runKey, next to a manifest pinning the harness Config that
-// produced it. A killed sweep restarted with the same checkpoint directory
-// loads completed cells instead of re-simulating them; because each cell's
-// Result is a pure function of its key plus the Config (see pool.go) and
-// Go's JSON encoding round-trips every Result field exactly, the resumed
-// export is byte-identical to an uninterrupted run's.
+// Checkpointing makes sweeps resumable and repeat sweeps cheap: every
+// completed cell is persisted into a durable content-addressed store
+// (internal/cellstore) keyed by (canonical config hash, cell key, simulator
+// schema version). Each record embeds a SHA-256 over its canonical payload
+// and is re-verified on every read, so a truncated, bit-flipped, or
+// stale-schema record can never be served — it is quarantined (never
+// deleted) and the cell is simply re-simulated. Because each cell's Result
+// is a pure function of its key plus the Config (see pool.go) and records
+// round-trip every Result field exactly, a resumed (or warm-restarted)
+// export is byte-identical to an uninterrupted run's — that identity is the
+// correctness oracle the chaos suite enforces.
+//
+// The manifest pins the canonical config hash and the simulator schema
+// version. Hash comparison (not byte comparison of pretty-printed JSON)
+// means an encoder or field-order change cannot reject a valid resume; the
+// schema pin means a stale binary refuses to resume instead of serving
+// another generation's records.
 
 const manifestName = "manifest.json"
 
-// Checkpoint is a directory of persisted cell results plus its manifest.
+// checkpointManifest is the persisted identity of a checkpoint directory.
+type checkpointManifest struct {
+	// SchemaVersion pins the simulator generation (system.SchemaVersion).
+	SchemaVersion string `json:"schemaVersion"`
+	// ConfigHash is the canonical hash of the harness Config (ConfigHash).
+	ConfigHash string `json:"configHash"`
+	// Config is a human-readable copy for operators; comparisons never
+	// read it.
+	Config Config `json:"config"`
+}
+
+// StoreOptions tunes the durable store behind a checkpoint.
+type StoreOptions struct {
+	// MaxBytes bounds the store's disk use via LRU eviction; 0 = unbounded.
+	MaxBytes int64
+	// Log receives integrity warnings (quarantines, evictions, unreadable
+	// records). Nil defaults to os.Stderr: a corrupt cell is re-simulated,
+	// never fatal, but it must not be silent either.
+	Log io.Writer
+}
+
+// Checkpoint is a thin view over the durable cell store: it owns the
+// manifest handshake and the (Result, metrics) <-> payload mapping, and
+// delegates persistence, integrity, quarantine, and eviction to the store.
 // Safe for concurrent use by pool workers.
 type Checkpoint struct {
-	dir string
+	dir     string
+	cfgHash string
+	store   *cellstore.Store
+	log     io.Writer
 
 	mu     sync.Mutex
 	loaded int
 	stored int
 }
 
-// OpenCheckpoint opens (or initializes) a checkpoint directory for cfg. A
-// directory created under a different Config is rejected: resuming it would
-// silently mix results from incompatible sweeps.
+// OpenCheckpoint opens (or initializes) a checkpoint directory for cfg with
+// default store options (unbounded, warnings to stderr).
 func OpenCheckpoint(dir string, cfg Config) (*Checkpoint, error) {
+	return OpenCheckpointStore(dir, cfg, StoreOptions{})
+}
+
+// OpenCheckpointStore opens (or initializes) a checkpoint directory for cfg.
+// A directory created under a different Config, or by a different simulator
+// schema generation, is rejected: resuming it would silently mix results
+// from incompatible sweeps. Every record in the store is verified up front;
+// corrupt ones are quarantined with a logged reason.
+func OpenCheckpointStore(dir string, cfg Config, opts StoreOptions) (*Checkpoint, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	want, err := json.MarshalIndent(cfg, "", "  ")
-	if err != nil {
-		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	logw := opts.Log
+	if logw == nil {
+		logw = os.Stderr
 	}
+	hash := ConfigHash(cfg)
 	path := filepath.Join(dir, manifestName)
 	if have, err := os.ReadFile(path); err == nil {
-		if string(have) != string(want) {
+		var m checkpointManifest
+		if err := json.Unmarshal(have, &m); err != nil || m.SchemaVersion == "" {
+			return nil, fmt.Errorf("checkpoint: %s has a legacy or foreign manifest; refusing to resume (move the directory aside to start fresh)", dir)
+		}
+		if m.SchemaVersion != system.SchemaVersion {
+			return nil, fmt.Errorf("checkpoint: %s was written by simulator schema %s; this binary speaks %s and refuses to resume (move the directory aside to start fresh)",
+				dir, m.SchemaVersion, system.SchemaVersion)
+		}
+		if m.ConfigHash != hash {
 			return nil, fmt.Errorf("checkpoint: %s was created for a different config; refusing to resume (delete the directory or match the original flags)", dir)
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
-	} else if err := atomicio.WriteFile(path, want, 0o644); err != nil {
-		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	} else {
+		m := checkpointManifest{SchemaVersion: system.SchemaVersion, ConfigHash: hash, Config: cfg}
+		data, merr := json.MarshalIndent(&m, "", "  ")
+		if merr != nil {
+			return nil, fmt.Errorf("checkpoint: manifest: %w", merr)
+		}
+		if err := atomicio.WriteFile(path, data, 0o644); err != nil {
+			return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+		}
 	}
-	return &Checkpoint{dir: dir}, nil
+	store, err := cellstore.Open(cellstore.Options{
+		Dir:      dir,
+		Schema:   system.SchemaVersion,
+		MaxBytes: opts.MaxBytes,
+		Log:      logw,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Checkpoint{dir: dir, cfgHash: hash, store: store, log: logw}, nil
 }
 
 // Dir returns the checkpoint directory.
 func (c *Checkpoint) Dir() string { return c.dir }
 
-// Loaded and Stored report how many cells were restored from, and persisted
-// to, the checkpoint during this process.
+// Loaded reports how many cells were restored from the store this process.
 func (c *Checkpoint) Loaded() int { c.mu.Lock(); defer c.mu.Unlock(); return c.loaded }
 
 // Stored reports how many cells this process persisted.
 func (c *Checkpoint) Stored() int { c.mu.Lock(); defer c.mu.Unlock(); return c.stored }
 
-// fileKey flattens the full normalized cell key into a filename. Every key
-// field participates (unlike runKey.String, which elides defaults), so two
-// distinct cells can never share a checkpoint file.
+// StoreStats exposes the underlying store's integrity and traffic counters
+// (verified/quarantined at open, hits, misses, evictions, bytes).
+func (c *Checkpoint) StoreStats() cellstore.Stats { return c.store.Stats() }
+
+// QuarantineLogPath returns the store's quarantine evidence log.
+func (c *Checkpoint) QuarantineLogPath() string { return c.store.QuarantineLogPath() }
+
+// Close releases the store's journal handle. Loads and stores after Close
+// still work; only recency journaling stops.
+func (c *Checkpoint) Close() error { return c.store.Close() }
+
+// fileKey flattens the full normalized cell key into a stable name. Every
+// key field participates (unlike runKey.String, which elides defaults), so
+// two distinct cells can never share a store record.
 func (k runKey) fileKey() string {
 	name := fmt.Sprintf("%s_%s_%s_hp%t_cte%d_gran%d_grp%d_pcte%t_ptb%t_dml0%t_sp%d_r%d",
 		k.workload, k.design, k.setting, k.hugePages, k.cteCacheBytes,
@@ -79,61 +159,63 @@ func (k runKey) fileKey() string {
 	return strings.ReplaceAll(name, string(os.PathSeparator), "-") + ".json"
 }
 
-// metricsFileKey names the cell's observability sidecar. It sits next to the
-// Result file so a resumed sweep restores the full metrics series too.
-func (k runKey) metricsFileKey() string {
-	return strings.TrimSuffix(k.fileKey(), ".json") + ".metrics.json"
+// storeKey scopes a cell key to this checkpoint's config: the store address
+// is content-derived from (config hash, cell key), and the schema version
+// rides in the record envelope.
+func (c *Checkpoint) storeKey(k runKey) string {
+	return c.cfgHash + "/" + k.fileKey()
 }
 
+// cellRecord is the persisted payload of one cell: the Result plus its
+// observability sidecar, checksummed together so a record can never pair a
+// valid Result with a damaged metrics series.
+type cellRecord struct {
+	Result  *system.Result `json:"result"`
+	Metrics *metrics.Data  `json:"metrics,omitempty"`
+}
+
+// Has reports whether a verified record for the cell existed at open (or
+// was stored since) without reading it. FreshCost uses it to price warm
+// cells as free; Load remains the only trusted read.
+func (c *Checkpoint) Has(key runKey) bool { return c.store.Has(c.storeKey(key)) }
+
 // Load restores a cell's persisted Result (and its observability sidecar,
-// when one was stored), reporting whether the Result exists. A torn or
-// unreadable file (impossible under the atomic writer, but cheap to
-// tolerate) is treated as absent so the cell is simply re-simulated.
+// when one was recorded), reporting whether the Result exists. Every load
+// re-verifies the record's checksum, schema, and key; a record failing any
+// check is quarantined by the store and treated as missing — the cell is
+// re-simulated with a warning, never a fatal error.
 func (c *Checkpoint) Load(key runKey) (*system.Result, *metrics.Data, bool) {
-	data, err := os.ReadFile(filepath.Join(c.dir, key.fileKey()))
-	if err != nil {
+	payload, ok := c.store.Get(c.storeKey(key))
+	if !ok {
 		return nil, nil, false
 	}
-	var res system.Result
-	if err := json.Unmarshal(data, &res); err != nil {
+	var rec cellRecord
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.Result == nil {
+		// The checksum verified, so this is a schema drift the version pin
+		// failed to catch, not corruption. Re-simulate; say why.
+		fmt.Fprintf(c.log, "checkpoint: cell %s: verified record does not decode (%v); re-simulating\n", key, err)
 		return nil, nil, false
-	}
-	var obs *metrics.Data
-	if mdata, err := os.ReadFile(filepath.Join(c.dir, key.metricsFileKey())); err == nil {
-		var d metrics.Data
-		if err := json.Unmarshal(mdata, &d); err == nil {
-			obs = &d
-		}
 	}
 	c.mu.Lock()
 	c.loaded++
 	c.mu.Unlock()
-	return &res, obs, true
+	return rec.Result, rec.Metrics, true
 }
 
-// Store persists a completed cell crash-safely, plus an observability
-// sidecar when the cell recorded metrics. The stored record carries only
-// measurement fields: Opts is zeroed because it embeds workload generator
-// internals that do not round-trip (and nothing downstream of the runner
-// reads it).
+// Store persists a completed cell crash-safely, together with its
+// observability sidecar when the cell recorded metrics. The stored record
+// carries only measurement fields: Opts is zeroed because it embeds
+// workload generator internals that do not round-trip (and nothing
+// downstream of the runner reads it).
 func (c *Checkpoint) Store(key runKey, res *system.Result, obs *metrics.Data) error {
 	rec := *res
 	rec.Opts = system.Options{}
-	data, err := json.MarshalIndent(&rec, "", "  ")
+	payload, err := json.Marshal(&cellRecord{Result: &rec, Metrics: obs})
 	if err != nil {
 		return fmt.Errorf("checkpoint: cell %s: %w", key, err)
 	}
-	if err := atomicio.WriteFile(filepath.Join(c.dir, key.fileKey()), data, 0o644); err != nil {
+	if err := c.store.Put(c.storeKey(key), payload); err != nil {
 		return fmt.Errorf("checkpoint: cell %s: %w", key, err)
-	}
-	if obs != nil {
-		mdata, err := json.MarshalIndent(obs, "", "  ")
-		if err != nil {
-			return fmt.Errorf("checkpoint: cell %s metrics: %w", key, err)
-		}
-		if err := atomicio.WriteFile(filepath.Join(c.dir, key.metricsFileKey()), mdata, 0o644); err != nil {
-			return fmt.Errorf("checkpoint: cell %s metrics: %w", key, err)
-		}
 	}
 	c.mu.Lock()
 	c.stored++

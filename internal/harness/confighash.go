@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// canonicalConfig is the hashed projection of Config. It exists so the
+// checkpoint manifest and the cell store compare configurations by a
+// canonical hash instead of by pretty-printed JSON bytes — a field-order,
+// indentation, or encoder change can no longer reject a valid resume.
+//
+// Every Config field that can alter a persisted cell's payload participates.
+// Workloads deliberately does not: each cell's key already names its
+// workload, so the workload *list* only selects which cells a sweep runs —
+// resuming the same store with a different -workloads subset is sound and
+// reuses every overlapping cell.
+//
+// Adding a field to Config? TestConfigHashCoversEveryConfigField fails
+// until you either add it here (it changes cell payloads) or add it to its
+// exemption list with a written justification (it provably does not).
+type canonicalConfig struct {
+	ScaleDivisor   uint64 `json:"scaleDivisor"`
+	FootprintFloor uint64 `json:"footprintFloor"`
+	WarmupAccesses uint64 `json:"warmupAccesses"`
+	Window         uint64 `json:"window"` // engine.Time ticks
+	Seed           int64  `json:"seed"`
+	Audit          bool   `json:"audit"`
+	MetricsSamples int    `json:"metricsSamples"`
+	Trace          bool   `json:"trace"`
+	TraceCap       int    `json:"traceCap"`
+}
+
+// ConfigHash returns the canonical content hash of a Config, hex-encoded.
+// Two Configs hash equal exactly when every cell they could both run would
+// persist byte-identical records.
+func ConfigHash(cfg Config) string {
+	c := canonicalConfig{
+		ScaleDivisor:   cfg.ScaleDivisor,
+		FootprintFloor: cfg.FootprintFloor,
+		WarmupAccesses: cfg.WarmupAccesses,
+		Window:         uint64(cfg.Window),
+		Seed:           cfg.Seed,
+		Audit:          cfg.Audit,
+		MetricsSamples: cfg.MetricsSamples,
+		Trace:          cfg.Trace,
+		TraceCap:       cfg.TraceCap,
+	}
+	// A fixed struct marshals with fixed field order and formatting; the
+	// encoding is canonical by construction.
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Marshal of a flat struct of scalars cannot fail.
+		panic("harness: ConfigHash: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -194,16 +194,26 @@ func PlanExperiments(cfg Config, exps []Experiment) []PlannedCell {
 // FreshCost reports how many of the experiment list's planned cells are not
 // yet in the runner's cache — the number of new simulations a request for
 // exps would trigger right now. Cells in flight count as fresh (their cost
-// is already being paid, but the caller will still wait on them).
+// is already being paid, but the caller will still wait on them); cells
+// resident in an attached durable store count as free, so admission pricing
+// stays accurate across a warm restart.
 func (r *Runner) FreshCost(exps []Experiment) int {
 	plan := planCells(r.Cfg, exps)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	fresh := 0
+	cp := r.checkpoint
+	missing := plan[:0]
 	for _, key := range plan {
 		if _, ok := r.cache[key]; !ok {
-			fresh++
+			missing = append(missing, key)
 		}
+	}
+	r.mu.Unlock()
+	fresh := 0
+	for _, key := range missing {
+		if cp != nil && cp.Has(key) {
+			continue
+		}
+		fresh++
 	}
 	return fresh
 }

@@ -110,4 +110,25 @@ type StatsResponse struct {
 	// class that has left the closed state at least once.
 	Breakers map[string]string `json:"breakers,omitempty"`
 	Draining bool              `json:"draining"`
+	// Store reports the durable cell store's integrity and hit-rate
+	// counters; absent when the server runs without -store.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is the durable cell store's /v1/stats block: how much the
+// store holds, how warm it is running, and what its integrity machinery has
+// caught. Quarantined records were detected (checksum, schema, truncation)
+// and moved aside with a logged reason — never served, never deleted.
+type StoreStats struct {
+	Records         int            `json:"records"`
+	Bytes           int64          `json:"bytes"`
+	Hits            int            `json:"hits"`
+	Misses          int            `json:"misses"`
+	HitRate         float64        `json:"hitRate"`
+	Puts            int            `json:"puts"`
+	Evictions       int            `json:"evictions"`
+	Quarantined     int            `json:"quarantined"`
+	Reasons         map[string]int `json:"quarantineReasons,omitempty"`
+	OpenVerified    int            `json:"openVerified"`
+	OpenQuarantined int            `json:"openQuarantined"`
 }

@@ -45,6 +45,13 @@ type Options struct {
 	// Now is the clock used for admission and breaker bookkeeping;
 	// nil uses wall time. Tests inject a fake to drive breaker cooldowns.
 	Now func() time.Time
+
+	// Checkpoint, when set, attaches a durable cell store to the shared
+	// runner: completed cells persist across restarts, verified store
+	// records short-circuit simulation on repeat traffic, and the store's
+	// integrity/hit-rate counters surface on /healthz and /v1/stats. The
+	// caller opens it (harness.OpenCheckpointStore) and retains ownership.
+	Checkpoint *harness.Checkpoint
 }
 
 // Server fronts one shared memoizing harness.Runner with the resilient
@@ -94,6 +101,9 @@ func New(opts Options) *Server {
 		s.runner.SetRetries(opts.Retries, opts.RetryBackoff)
 	}
 	s.runner.SetEvictFailedCells(true)
+	if opts.Checkpoint != nil {
+		s.runner.AttachCheckpoint(opts.Checkpoint)
+	}
 	s.adm = NewAdmission(opts.MaxCost, opts.MaxQueue, opts.PerClient, opts.Now)
 	s.brk = NewBreaker(opts.Breaker, opts.Now)
 	s.runner.SetCellObserver(s.brk.Report)
@@ -182,6 +192,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ok")
+	// The store line is operator-facing integrity at a glance; machine
+	// consumers read the structured block on /v1/stats.
+	if s.opts.Checkpoint != nil {
+		st := s.opts.Checkpoint.StoreStats()
+		fmt.Fprintf(w, "store: %d records, %d quarantined, %d hits / %d misses\n",
+			st.Records, st.Quarantined, st.Hits, st.Misses)
+	}
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -205,7 +222,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Running:     running,
 		Queued:      queued,
 		QueuedCost:  queuedCost,
@@ -214,7 +231,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Memory:      memLevelName(s.mem.Level()),
 		Breakers:    s.brk.Tripped(),
 		Draining:    draining,
-	})
+	}
+	if s.opts.Checkpoint != nil {
+		st := s.opts.Checkpoint.StoreStats()
+		ss := &StoreStats{
+			Records:         st.Records,
+			Bytes:           st.Bytes,
+			Hits:            st.Hits,
+			Misses:          st.Misses,
+			Puts:            st.Puts,
+			Evictions:       st.Evictions,
+			Quarantined:     st.Quarantined,
+			Reasons:         st.Reasons,
+			OpenVerified:    st.OpenVerified,
+			OpenQuarantined: st.OpenQuarantined,
+		}
+		if lookups := st.Hits + st.Misses; lookups > 0 {
+			ss.HitRate = float64(st.Hits) / float64(lookups)
+		}
+		resp.Store = ss
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRun is the request path: validate -> price -> deadline -> admit ->
@@ -379,4 +416,3 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v)
 }
-

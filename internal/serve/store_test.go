@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"dylect/internal/harness"
+)
+
+// TestServeWarmRestartServesFromStore is the warm-restart acceptance
+// criterion: a second server process (fresh Server, fresh Runner, same store
+// directory) answers a repeat request with zero fresh simulations and a
+// byte-identical Results payload, and its stats surface reports the store
+// hits.
+func TestServeWarmRestartServesFromStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	leakCheck(t)
+	dir := t.TempDir()
+	cfg := testConfig()
+	req := RunRequest{Experiments: []string{"fig4"}}
+
+	openStore := func() *harness.Checkpoint {
+		t.Helper()
+		cp, err := harness.OpenCheckpointStore(dir, cfg, harness.StoreOptions{Log: io.Discard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+
+	// First "process": cold store, real simulations, results persisted.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	cp1 := openStore()
+	s1, ts1 := newTestServer(t, ctx1, func(o *Options) { o.Checkpoint = cp1 })
+	resp1, err := NewClient(ts1.URL, 1).Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp1.Partial {
+		t.Fatalf("cold run partial: %+v", resp1.Experiments)
+	}
+	if s1.runner.Runs() == 0 {
+		t.Fatal("cold run simulated nothing")
+	}
+	if st := cp1.StoreStats(); st.Puts == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", st)
+	}
+	ts1.Close()
+	cancel1()
+	cp1.Close()
+
+	// Second "process": same directory, everything else fresh.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cp2 := openStore()
+	defer cp2.Close()
+	if st := cp2.StoreStats(); st.OpenVerified == 0 || st.OpenQuarantined != 0 {
+		t.Fatalf("restart open scan = %+v", st)
+	}
+	s2, ts2 := newTestServer(t, ctx2, func(o *Options) { o.Checkpoint = cp2 })
+	resp2, err := NewClient(ts2.URL, 2).Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Partial {
+		t.Fatalf("warm run partial: %+v", resp2.Experiments)
+	}
+	if n := s2.runner.Runs(); n != 0 {
+		t.Errorf("warm restart re-simulated %d cells, want 0", n)
+	}
+	if string(resp2.Results) != string(resp1.Results) {
+		t.Errorf("warm results differ from cold run: %d bytes vs %d bytes",
+			len(resp2.Results), len(resp1.Results))
+	}
+
+	// The stats surface reports the store block with the hits just taken.
+	hresp, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil {
+		t.Fatal("stats response missing store block")
+	}
+	if stats.Store.Hits == 0 || stats.Store.HitRate == 0 {
+		t.Errorf("warm stats show no store hits: %+v", stats.Store)
+	}
+	if stats.Store.Records == 0 {
+		t.Errorf("warm stats show no records: %+v", stats.Store)
+	}
+}

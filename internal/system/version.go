@@ -1,0 +1,17 @@
+package system
+
+// SchemaVersion names the simulator result schema this binary produces.
+// Persisted cell records (internal/cellstore via harness checkpoints) pin
+// it, so a store written by one simulator generation is never silently
+// merged into another's byte-identical exports.
+//
+// Bump it whenever a change can alter any persisted cell payload:
+//   - Result gains, loses, renames, or re-types a field;
+//   - metrics.Data's persisted shape changes;
+//   - simulation semantics change the numbers a given cell key produces
+//     (new fix, new model, new default) — the golden corpus moving is the
+//     usual tell.
+//
+// A stale binary opening a pinned store refuses to resume instead of
+// re-serving (or re-interpreting) another generation's records.
+const SchemaVersion = "dylect-sim/1"

@@ -23,6 +23,13 @@
 #            boot dylect-served on an ephemeral port, run the client
 #            subcommand against it, SIGTERM, and require a clean drain
 #            (the full chaos soak runs under the race step)
+#   store    durable-store gate: race-mode unit tests for the content-
+#            addressed cell store (corruption matrix, LRU journal,
+#            concurrent eviction) and the harness chaos suite, then the
+#            out-of-process crash-injection soak — SIGKILL a checkpointed
+#            sweep mid-write across three cycles, corrupt records between
+#            restarts, require quarantine + byte-identical recovery
+#            (scripts/store_crash.sh; STORE_DIR keeps the artifacts)
 #   fuzz     10s smoke per fuzz target in ./internal/comp and the
 #            BENCH_*.json snapshot decoder in ./internal/perfbench
 #   bench    perf-trajectory gate: run the pinned dylect-bench suite and
@@ -39,13 +46,13 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(build vet lint contracts race golden faults obs serve fuzz bench)
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint contracts race golden faults obs serve store fuzz bench)
 
 for s in "${steps[@]}"; do
 	case "$s" in
-	build | vet | lint | contracts | race | golden | faults | obs | serve | fuzz | bench) ;;
+	build | vet | lint | contracts | race | golden | faults | obs | serve | store | fuzz | bench) ;;
 	*)
-		echo "unknown step '$s' (want: build vet lint contracts race golden faults obs serve fuzz bench)" >&2
+		echo "unknown step '$s' (want: build vet lint contracts race golden faults obs serve store fuzz bench)" >&2
 		exit 2
 		;;
 	esac
@@ -163,6 +170,15 @@ if want serve; then
 		exit 1
 	fi
 	rm -rf "$serve_dir"
+fi
+
+if want store; then
+	echo "== durable store (race units + crash-injection soak)"
+	go test -race -count=1 ./internal/cellstore
+	go test -race -count=1 \
+		-run 'TestStoreChaos|TestCorruptCell|TestCheckpoint|TestConfigHash|TestFreshCost' \
+		./internal/harness
+	scripts/store_crash.sh
 fi
 
 if want fuzz; then

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# store_crash.sh — out-of-process crash-injection soak for the durable cell
+# store (internal/cellstore via harness checkpoints).
+#
+# The in-process chaos suite (TestStoreChaosRecoveryByteIdentical) exercises
+# the same matrix with simulated interrupts; this script does it with real
+# SIGKILLs and a real filesystem:
+#
+#   1. Run the sweep uninterrupted (-jobs 8) and keep its -json export as
+#      the reference.
+#   2. CYCLES times (default 3): start a checkpointed run, SIGKILL it once
+#      at least one record has landed (mid-write, no drain), then damage the
+#      store — truncate or bit-flip a record, plant a torn atomic-write temp.
+#   3. Restart over the battered store and run to completion. The export
+#      must be byte-identical to the reference, every damaged record must
+#      sit in quarantine/ with a logged reason, and a final warm rerun must
+#      simulate nothing.
+#
+# STORE_DIR keeps the artifacts (CI uploads the quarantine directory and the
+# per-cycle logs); default is ephemeral.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CYCLES="${CYCLES:-3}"
+dir="${STORE_DIR:-$(mktemp -d)}"
+mkdir -p "$dir"
+store="$dir/store"
+bin="$dir/dylectsim"
+args=(-exp fig17,fig19 -workloads omnetpp,bfs -scale 32 -warmup 10000 -window 8 -audit)
+
+echo "== build"
+go build -o "$bin" ./cmd/dylectsim
+
+echo "== reference run (uninterrupted, -jobs 8)"
+"$bin" "${args[@]}" -jobs 8 -json "$dir/ref.json" >/dev/null 2>"$dir/ref.log"
+
+for cycle in $(seq 1 "$CYCLES"); do
+	echo "== cycle $cycle: checkpointed run, SIGKILL mid-run"
+	"$bin" "${args[@]}" -jobs 2 -checkpoint "$store" >/dev/null 2>"$dir/cycle$cycle.log" &
+	pid=$!
+	# Kill hard once at least $cycle records have landed (so later cycles
+	# get further before dying), or immediately if the run finishes early.
+	for _ in $(seq 1 600); do
+		# records/ may not exist yet; don't let pipefail+errexit kill us.
+		n=$({ find "$store/records" -name '*.cell' 2>/dev/null || true; } | wc -l)
+		[ "$n" -ge "$cycle" ] && break
+		kill -0 "$pid" 2>/dev/null || break
+		sleep 0.05
+	done
+	kill -KILL "$pid" 2>/dev/null || true
+	wait "$pid" 2>/dev/null || true
+
+	rec="$(find "$store/records" -name '*.cell' | sort | head -1)"
+	if [ -z "$rec" ]; then
+		echo "cycle $cycle left no records to corrupt" >&2
+		exit 1
+	fi
+	size=$(wc -c <"$rec")
+	if [ $((cycle % 2)) -eq 0 ]; then
+		# Torn write: keep a prefix.
+		truncate -s $((size / 3)) "$rec"
+	else
+		# Flip one mid-file byte (inside the payload).
+		printf 'X' | dd of="$rec" bs=1 seek=$((size / 2)) conv=notrunc status=none
+	fi
+	# Plant the exact residue of a crash inside atomicio.WriteFile.
+	printf '{"format":1,"sch' >"$(dirname "$rec")/.crash.cell.tmp-$cycle"
+done
+
+echo "== recovery run over the battered store"
+"$bin" "${args[@]}" -jobs 8 -checkpoint "$store" -json "$dir/out.json" >/dev/null 2>"$dir/final.log"
+if ! cmp -s "$dir/ref.json" "$dir/out.json"; then
+	echo "export differs from the uninterrupted reference after crash recovery" >&2
+	exit 1
+fi
+
+qlog="$store/quarantine/quarantine.log"
+if [ ! -s "$qlog" ]; then
+	echo "no quarantine log despite injected corruption" >&2
+	exit 1
+fi
+if ! grep -q 'reason=' "$qlog"; then
+	echo "quarantine log entries carry no reason:" >&2
+	cat "$qlog" >&2
+	exit 1
+fi
+specimens=$(find "$store/quarantine" -name '*.cell*' ! -name quarantine.log | wc -l)
+if [ "$specimens" -lt "$CYCLES" ]; then
+	echo "quarantine holds $specimens specimens, corrupted at least $CYCLES" >&2
+	exit 1
+fi
+echo "quarantined $specimens specimens:"
+cat "$qlog"
+
+echo "== warm rerun must simulate nothing and export identically"
+"$bin" "${args[@]}" -jobs 8 -checkpoint "$store" -json "$dir/warm.json" >/dev/null 2>"$dir/warm.log"
+if ! grep -Eq '(^|[^0-9])0 simulations' "$dir/warm.log"; then
+	echo "warm rerun re-simulated cells:" >&2
+	cat "$dir/warm.log" >&2
+	exit 1
+fi
+if ! cmp -s "$dir/ref.json" "$dir/warm.json"; then
+	echo "warm export differs from the uninterrupted reference" >&2
+	exit 1
+fi
+
+[ -n "${STORE_DIR:-}" ] || rm -rf "$dir"
+echo "store crash-injection soak passed"
