@@ -6,8 +6,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the default mux's profile routes
 	"strings"
 	"time"
 
@@ -54,10 +56,28 @@ func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
 
 		storeDir      = fs.String("store", "", "durable result store directory: completed cells persist, verify on load, and survive restarts")
 		storeBudgetMB = fs.Int64("store-budget-mb", 0, "store byte budget in MiB; least-recently-used records evict beyond it (0 = unbounded)")
+
+		logJSON   = fs.Bool("log-json", false, "structured request log as JSON lines on stderr (default: text)")
+		logLevel  = fs.String("log-level", "info", "request log level: debug, info, warn, error")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off; keep it loopback)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(errOut, "log-level: %v\n", err)
+		return 2
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(errOut, hopts)
+	} else {
+		handler = slog.NewTextHandler(errOut, hopts)
+	}
+	logger := slog.New(handler)
 
 	cfg := harness.Full()
 	if *quick {
@@ -79,12 +99,15 @@ func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
 	cfg.Audit = *audit
 	cfg.MetricsSamples = *metricsSamples
 
+	tel := serve.NewTelemetry()
+
 	var cp *harness.Checkpoint
 	if *storeDir != "" {
 		var err error
 		cp, err = harness.OpenCheckpointStore(*storeDir, cfg, harness.StoreOptions{
 			MaxBytes: *storeBudgetMB << 20,
 			Log:      errOut,
+			Observer: tel.StoreObserver(),
 		})
 		if err != nil {
 			fmt.Fprintf(errOut, "store: %v\n", err)
@@ -110,7 +133,22 @@ func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
 		Memory:         serve.MemoryConfig{Limit: *memLimitMB << 20},
 		DefaultTimeout: *defaultTO,
 		MaxTimeout:     *maxTO,
+		Telemetry:      tel,
+		Logger:         logger,
 	})
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(errOut, "pprof listen: %v\n", err)
+			return 1
+		}
+		defer pln.Close()
+		fmt.Fprintf(errOut, "pprof listening on %s\n", pln.Addr())
+		// Debug-only listener on the default mux (where net/http/pprof
+		// registers); it dies with the process, no drain needed.
+		go func() { _ = http.Serve(pln, nil) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -97,5 +98,85 @@ func TestClientCLIRequiresExperiments(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "-exp is required") {
 		t.Fatalf("usage hint missing:\n%s", out.String())
+	}
+}
+
+// TestTopDashboard boots the server CLI with JSON logging, generates one
+// request, and drives the `top` subcommand through its three modes: -raw
+// (fetch + validate + dump), -scrape (offline render of a saved scrape),
+// and -once (live single frame).
+func TestTopDashboard(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var srvOut, srvErr syncBuf
+	exit := make(chan int, 1)
+	go func() {
+		exit <- serverCLI(ctx, []string{"-addr", "127.0.0.1:0", "-quick", "-log-json"}, &srvOut, &srvErr)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-exit:
+		case <-time.After(15 * time.Second):
+			t.Errorf("server did not exit; stderr:\n%s", srvErr.String())
+		}
+	})
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(srvErr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never printed its address; stderr:\n%s", srvErr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	var cliOut, cliErr bytes.Buffer
+	if code := clientCLI(context.Background(), []string{"-addr", base, "-exp", "table3"}, &cliOut, &cliErr); code != 0 {
+		t.Fatalf("client exit = %d; stderr:\n%s", code, cliErr.String())
+	}
+
+	// -raw validates the scrape with the strict parser before printing it.
+	var raw, rawErr bytes.Buffer
+	if code := topCLI(ctx, []string{"-addr", base, "-raw"}, &raw, &rawErr); code != 0 {
+		t.Fatalf("top -raw exit = %d; stderr:\n%s", code, rawErr.String())
+	}
+	if !strings.Contains(raw.String(), "# TYPE dylect_requests_total counter") {
+		t.Fatalf("raw scrape missing requests family:\n%s", raw.String())
+	}
+
+	// -scrape renders a saved scrape offline.
+	scrapePath := t.TempDir() + "/scrape.txt"
+	if err := os.WriteFile(scrapePath, raw.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var frame, frameErr bytes.Buffer
+	if code := topCLI(ctx, []string{"-scrape", scrapePath}, &frame, &frameErr); code != 0 {
+		t.Fatalf("top -scrape exit = %d; stderr:\n%s", code, frameErr.String())
+	}
+	for _, want := range []string{"dylect-served top", "requests by outcome", "ok", "memory    ok"} {
+		if !strings.Contains(frame.String(), want) {
+			t.Errorf("frame missing %q:\n%s", want, frame.String())
+		}
+	}
+
+	// -once renders a live frame.
+	var once, onceErr bytes.Buffer
+	if code := topCLI(ctx, []string{"-addr", base, "-once"}, &once, &onceErr); code != 0 {
+		t.Fatalf("top -once exit = %d; stderr:\n%s", code, onceErr.String())
+	}
+	if !strings.Contains(once.String(), "requests by outcome") {
+		t.Errorf("live frame missing chart:\n%s", once.String())
+	}
+
+	// The structured log recorded the request as JSON with its span fields.
+	if !strings.Contains(srvErr.String(), `"code":"ok"`) || !strings.Contains(srvErr.String(), `"span_queue_ms"`) {
+		t.Errorf("JSON request log missing:\n%s", srvErr.String())
 	}
 }

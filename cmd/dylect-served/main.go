@@ -8,6 +8,7 @@
 //	dylect-served -addr 127.0.0.1:8344 -quick -jobs 8
 //	dylect-served -addr :8344 -mem-limit 4096 -max-cost 16
 //	dylect-served client -addr http://127.0.0.1:8344 -exp fig4,fig18
+//	dylect-served top -addr http://127.0.0.1:8344
 //
 // The server prints "listening on ADDR" to stderr once the listener is up.
 // SIGINT/SIGTERM triggers the drain sequence: /readyz flips to 503
@@ -27,9 +28,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var code int
-	if len(os.Args) > 1 && os.Args[1] == "client" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "client":
 		code = clientCLI(ctx, os.Args[2:], os.Stdout, os.Stderr)
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "top":
+		code = topCLI(ctx, os.Args[2:], os.Stdout, os.Stderr)
+	default:
 		code = serverCLI(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	}
 	os.Exit(code)

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dylect/internal/stats"
+	"dylect/internal/telemetry"
+)
+
+// topCLI is the `dylect-served top` subcommand: a live terminal dashboard
+// over the service's /metrics endpoint. Every frame is one scrape, parsed
+// with the same strict exposition parser the tests use — so besides being a
+// dashboard it doubles as a format validator (-raw fetches, validates, and
+// dumps a scrape, which is what the CI smoke uses to gate /metrics).
+func topCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("dylect-served top", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8344", "service base URL")
+		interval = fs.Duration("interval", 2*time.Second, "refresh interval")
+		once     = fs.Bool("once", false, "render a single frame and exit")
+		raw      = fs.Bool("raw", false, "fetch one scrape, validate it, and print it verbatim (implies -once)")
+		scrape   = fs.String("scrape", "", "render one frame from a saved scrape file instead of fetching")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *scrape != "" {
+		data, err := os.ReadFile(*scrape)
+		if err != nil {
+			fmt.Fprintf(errOut, "top: %v\n", err)
+			return 1
+		}
+		fams, err := telemetry.ParseExposition(data)
+		if err != nil {
+			fmt.Fprintf(errOut, "top: parse %s: %v\n", *scrape, err)
+			return 1
+		}
+		fmt.Fprint(out, renderFrame(fams, nil, 0))
+		return 0
+	}
+
+	fetch := func() ([]byte, []*telemetry.Family, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, *addr+"/metrics", nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+		}
+		fams, err := telemetry.ParseExposition(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse /metrics: %w", err)
+		}
+		return data, fams, nil
+	}
+
+	if *raw {
+		data, _, err := fetch()
+		if err != nil {
+			fmt.Fprintf(errOut, "top: %v\n", err)
+			return 1
+		}
+		_, _ = out.Write(data)
+		return 0
+	}
+
+	var prev []*telemetry.Family
+	for {
+		_, fams, err := fetch()
+		if err != nil {
+			fmt.Fprintf(errOut, "top: %v\n", err)
+			return 1
+		}
+		frame := renderFrame(fams, prev, *interval)
+		if *once {
+			fmt.Fprint(out, frame)
+			return 0
+		}
+		// Home the cursor and wipe below rather than scrolling a new frame.
+		fmt.Fprint(out, "\x1b[H\x1b[2J"+frame)
+		prev = fams
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(out)
+			return 0
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// renderFrame lays out one dashboard frame from a parsed scrape. prev (the
+// previous frame's families, nil on the first frame) supplies the deltas
+// behind the req/s rate.
+func renderFrame(fams []*telemetry.Family, prev []*telemetry.Family, interval time.Duration) string {
+	var sb strings.Builder
+	sb.WriteString("dylect-served top\n\n")
+
+	total := famSum(fams, "dylect_requests_total")
+	fmt.Fprintf(&sb, "requests  %-8.6g", total)
+	if prev != nil && interval > 0 {
+		rate := (total - famSum(prev, "dylect_requests_total")) / interval.Seconds()
+		fmt.Fprintf(&sb, "  %.2f req/s", rate)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "latency   p50 %s  p95 %s   queue-wait p95 %s\n",
+		fmtSeconds(famQuantile(fams, "dylect_request_seconds", 0.50)),
+		fmtSeconds(famQuantile(fams, "dylect_request_seconds", 0.95)),
+		fmtSeconds(famQuantile(fams, "dylect_queue_wait_seconds", 0.95)))
+	fmt.Fprintf(&sb, "queue     depth %.6g  queued-cost %.6g  running-cost %.6g\n",
+		famSum(fams, "dylect_queue_depth"),
+		famSum(fams, "dylect_queue_cost"),
+		famSum(fams, "dylect_running_cost"))
+	fmt.Fprintf(&sb, "memory    %s   breaker open/half-open classes %.6g\n",
+		memLevelName(famSum(fams, "dylect_memory_level")),
+		famSum(fams, "dylect_breaker_open_classes"))
+
+	hits := famSumWhere(fams, "dylect_store_ops_total", map[string]string{"op": "hit"})
+	misses := famSumWhere(fams, "dylect_store_ops_total", map[string]string{"op": "miss"})
+	if hits+misses > 0 || famSum(fams, "dylect_store_records") > 0 {
+		rate := math.NaN()
+		if hits+misses > 0 {
+			rate = hits / (hits + misses)
+		}
+		fmt.Fprintf(&sb, "store     records %.6g  bytes %.6g  hit-rate %.1f%%  quarantined %.6g\n",
+			famSum(fams, "dylect_store_records"),
+			famSum(fams, "dylect_store_bytes"),
+			rate*100,
+			famSum(fams, "dylect_store_quarantines_total"))
+	}
+	sb.WriteByte('\n')
+
+	if chart := labelChart(fams, "dylect_requests_total", "requests by outcome", "code"); chart != "" {
+		sb.WriteString(chart)
+		sb.WriteByte('\n')
+	}
+	if chart := labelChart(fams, "dylect_cells_total", "cells by class (fresh+store)", "class"); chart != "" {
+		sb.WriteString(chart)
+		sb.WriteByte('\n')
+	}
+	if chart := labelChart(fams, "dylect_cell_failures_total", "cell failures by class", "class"); chart != "" {
+		sb.WriteString(chart)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// labelChart renders one bar per distinct value of label, summing samples
+// that share it. Empty (no samples) charts render as "".
+func labelChart(fams []*telemetry.Family, name, title, label string) string {
+	f := telemetry.FindFamily(fams, name)
+	if f == nil || len(f.Samples) == 0 {
+		return ""
+	}
+	byLabel := map[string]float64{}
+	for _, s := range f.Samples {
+		byLabel[s.Labels[label]] += s.Value
+	}
+	keys := make([]string, 0, len(byLabel))
+	for k := range byLabel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	chart := stats.NewBarChart(title)
+	for _, k := range keys {
+		chart.Add(k, byLabel[k])
+	}
+	return chart.String()
+}
+
+func famSum(fams []*telemetry.Family, name string) float64 {
+	return famSumWhere(fams, name, nil)
+}
+
+func famSumWhere(fams []*telemetry.Family, name string, match map[string]string) float64 {
+	f := telemetry.FindFamily(fams, name)
+	if f == nil {
+		return 0
+	}
+	return f.Sum(match)
+}
+
+func famQuantile(fams []*telemetry.Family, name string, q float64) float64 {
+	f := telemetry.FindFamily(fams, name)
+	if f == nil {
+		return math.NaN()
+	}
+	return f.Quantile(q, nil)
+}
+
+// fmtSeconds renders a latency in the most readable unit; NaN (an empty
+// histogram) renders as "-".
+func fmtSeconds(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}
+
+func memLevelName(v float64) string {
+	switch {
+	case v >= 2:
+		return "critical"
+	case v >= 1:
+		return "degraded"
+	}
+	return "ok"
+}

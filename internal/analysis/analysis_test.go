@@ -51,7 +51,23 @@ func (r *Recorder) RegisterCounter(name string, c *stats.Counter) {
 	r.counters = append(r.counters, c)
 }
 `
+
+	fixtureTelemetryPath = "fix/internal/telemetry"
+	fixtureTelemetrySrc  = `package telemetry
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { c.n++ }
+`
 )
+
+// telemetryPkg is the service-telemetry fixture, passed as a loadFixture
+// extra by the tests that exercise the telemetry isolation boundary.
+func telemetryPkg() map[string]map[string]string {
+	return map[string]map[string]string{
+		fixtureTelemetryPath: {"telemetry.go": fixtureTelemetrySrc},
+	}
+}
 
 // loadFixture type-checks an in-memory program consisting of the fixture
 // engine/stats packages plus one package under test at path

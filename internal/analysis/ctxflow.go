@@ -46,7 +46,7 @@ func runCtxFlow(prog *Program) []Diagnostic {
 					return true
 				}
 				diags = append(diags, Diagnostic{
-					Pos: g.Pos(),
+					Pos:     g.Pos(),
 					Message: fmt.Sprintf("%s launches a goroutine but has no context.Context parameter; serving-layer goroutines must be cancelable or they outlive drains", name),
 				})
 				return true

@@ -20,6 +20,14 @@ package analysis
 // which acts as a traversal barrier: the annotated function and everything
 // reachable only through it are exempt. The reason is mandatory — an
 // unexplained barrier is itself a finding.
+//
+// DetFlow also enforces the telemetry isolation boundary: nothing in
+// internal/system or internal/engine may reach internal/telemetry. The
+// service telemetry layer observes the simulator through hooks installed
+// from the outside (serving layer, harness settlement callbacks); a
+// simulator-core dependency on it would invert that direction and open a
+// channel for service state to leak into simulated results. Violations
+// carry the full call chain as a witness.
 
 import (
 	"fmt"
@@ -50,6 +58,7 @@ func runDetFlow(prog *Program) []Diagnostic {
 			})
 		}
 	}
+	diags = append(diags, telemetryIsolation(g, prog)...)
 	roots := detRoots(g)
 	if len(roots) == 0 {
 		return diags
@@ -68,6 +77,43 @@ func runDetFlow(prog *Program) []Diagnostic {
 			d.Message += fmt.Sprintf(" [reached via %s]", reach.Chain(n))
 			diags = append(diags, d)
 		}
+	}
+	return diags
+}
+
+// telemetryIsolation reports every internal/telemetry function reachable
+// from a function declared in internal/system or internal/engine. The ban
+// is absolute — no //dylect:nondet-ok barrier applies, because this is a
+// dependency-direction invariant, not a quarantinable behavior: the
+// simulator core must stay oblivious to the service's metric surface so
+// telemetry can never influence simulated results.
+func telemetryIsolation(g *CallGraph, prog *Program) []Diagnostic {
+	var roots []*Node
+	for _, n := range g.Nodes {
+		if pathHasSuffix(n.Pkg.Path, "internal/system") || pathHasSuffix(n.Pkg.Path, "internal/engine") {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := g.Reachable(roots...)
+	var diags []Diagnostic
+	reported := make(map[token.Pos]bool)
+	for _, n := range reach.Nodes() {
+		if !pathHasSuffix(n.Pkg.Path, "internal/telemetry") || reported[n.Pos()] {
+			continue
+		}
+		if isTestFile(prog.Fset.Position(n.Pos()).Filename) {
+			continue
+		}
+		reported[n.Pos()] = true
+		diags = append(diags, Diagnostic{
+			Pos: n.Pos(),
+			Message: fmt.Sprintf(
+				"%s (internal/telemetry) is reachable from the simulator core (%s): internal/system and internal/engine must not depend on service telemetry; instrument from the serving layer's hooks instead",
+				n.Name, reach.Chain(n)),
+		})
 	}
 	return diags
 }

@@ -176,3 +176,41 @@ func Simulate() { _ = time.Now() }
 		t.Fatalf("want one finding with a witness chain, got %v", findings)
 	}
 }
+
+func TestDetFlowTelemetryIsolationFires(t *testing.T) {
+	// A simulator-core path into internal/telemetry is banned outright —
+	// the violation carries the call chain from the core to the instrument.
+	src := `package sut
+
+import "fix/internal/telemetry"
+
+var hits telemetry.Counter
+
+func Simulate() { record() }
+
+func record() { hits.Inc() }
+`
+	findings := runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()"), telemetryPkg()), DetFlow())
+	wantFinding(t, findings, "internal/telemetry", "simulator core",
+		"system.RunE -> sut.Simulate -> sut.record -> (*telemetry.Counter).Inc")
+}
+
+func TestDetFlowTelemetryFromServingLayerClean(t *testing.T) {
+	// The serving layer instruments from outside the core: telemetry use
+	// there (or anywhere not reachable from system/engine) is fine.
+	src := `package sut
+
+func Simulate() {}
+`
+	serve := map[string]map[string]string{
+		"fix/internal/serve": {"serve.go": `package serve
+
+import "fix/internal/telemetry"
+
+var requests telemetry.Counter
+
+func HandleRun() { requests.Inc() }
+`},
+	}
+	wantClean(t, runOn(t, loadFixture(t, src, systemPkg("\tsut.Simulate()"), serve, telemetryPkg()), DetFlow()))
+}

@@ -11,11 +11,12 @@ package analysis
 //   - the exported surface of internal/metrics (Recorder hooks the
 //     simulator calls from anywhere).
 //
-// Writes owned by internal/metrics and internal/invariant are allowed —
-// recording a sample mutates the recorder, an audit appends to its Report;
-// that is the observation side's own state. Everything else (mc, dram,
-// engine, tlb, ... state; package-level variables; captured locals) is a
-// violation: it would make results depend on whether observation was
+// Writes owned by internal/metrics, internal/invariant, and
+// internal/telemetry are allowed — recording a sample mutates the recorder,
+// an audit appends to its Report, bumping a service counter mutates the
+// registry; that is the observation side's own state. Everything else (mc,
+// dram, engine, tlb, ... state; package-level variables; captured locals)
+// is a violation: it would make results depend on whether observation was
 // attached, which the byte-compare tests only catch after the fact.
 
 import (
@@ -69,14 +70,16 @@ func runObsPure(prog *Program) []Diagnostic {
 	return diags
 }
 
-// obsAllowedEffect permits writes to the observation side's own state:
-// the metrics recorder and invariant report accumulators.
+// obsAllowedEffect permits writes to the observation side's own state: the
+// metrics recorder, invariant report accumulators, and service telemetry
+// instruments (counters/gauges/histograms mutate only their registry).
 func obsAllowedEffect(eff Effect) bool {
 	if eff.Pkg == nil {
 		return false
 	}
 	return pathHasSuffix(eff.Pkg.Path(), "internal/metrics") ||
-		pathHasSuffix(eff.Pkg.Path(), "internal/invariant")
+		pathHasSuffix(eff.Pkg.Path(), "internal/invariant") ||
+		pathHasSuffix(eff.Pkg.Path(), "internal/telemetry")
 }
 
 // obsRoots collects the observation entry points, in deterministic

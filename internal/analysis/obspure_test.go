@@ -196,3 +196,27 @@ func (s *Sim) Attach() {
 `
 	wantClean(t, runOn(t, loadFixture(t, src), ObsPure()))
 }
+
+func TestObsPureTelemetryWriteAllowed(t *testing.T) {
+	// Service telemetry instruments are observation-side state, like the
+	// metrics recorder: an observation hook may bump them freely.
+	src := `package sut
+
+import (
+	"fix/internal/engine"
+	"fix/internal/telemetry"
+)
+
+type Sim struct {
+	Eng   *engine.Engine
+	ticks telemetry.Counter
+}
+
+func (s *Sim) Attach() {
+	s.Eng.ObserveAt(5, func() {
+		s.ticks.Inc()
+	})
+}
+`
+	wantClean(t, runOn(t, loadFixture(t, src, telemetryPkg()), ObsPure()))
+}

@@ -101,6 +101,13 @@ type Options struct {
 	// Now stamps quarantine-log lines; nil uses wall time. The stamp is
 	// operator forensics only — it never feeds a deterministic export.
 	Now func() time.Time
+	// Observer, when set, receives one call per store operation: op is
+	// "hit", "miss", "put", "eviction", or "quarantine", and detail carries
+	// the quarantine reason (empty for other ops). It is called
+	// synchronously, possibly while the store's lock is held — it must be
+	// fast and must not call back into the store. The serving layer feeds
+	// its /metrics counters from it.
+	Observer func(op, detail string)
 }
 
 // Stats is a snapshot of the store's counters.
@@ -137,6 +144,7 @@ type Store struct {
 	maxBytes int64
 	log      io.Writer
 	now      func() time.Time
+	obs      func(op, detail string)
 
 	mu      sync.Mutex
 	index   map[string]*entry // addr -> entry
@@ -192,6 +200,7 @@ func Open(opts Options) (*Store, error) {
 		maxBytes: opts.MaxBytes,
 		log:      logw,
 		now:      now,
+		obs:      opts.Observer,
 		index:    make(map[string]*entry),
 		recency:  list.New(),
 	}
@@ -311,6 +320,13 @@ func clip(s string, n int) string {
 	return s[:n]
 }
 
+// observe reports one store operation to the attached observer, if any.
+func (s *Store) observe(op, detail string) {
+	if s.obs != nil {
+		s.obs(op, detail)
+	}
+}
+
 // quarantineFile moves a bad file into quarantine/ (never deleting it) and
 // logs what moved and why. Name collisions get a numeric suffix so repeated
 // corruption of the same address keeps every specimen.
@@ -331,6 +347,7 @@ func (s *Store) quarantineFile(path, reason, detail string) {
 	}
 	s.stats.Quarantined++
 	s.stats.Reasons[reason]++
+	s.observe("quarantine", reason)
 	if s.journal == nil {
 		s.stats.OpenQuarantined++ // journal opens after the scan
 	}
@@ -366,6 +383,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	e, ok := s.index[addr]
 	if !ok {
 		s.stats.Misses++
+		s.observe("miss", "")
 		return nil, false
 	}
 	path := s.recordPath(addr)
@@ -374,17 +392,20 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.dropLocked(e)
 		s.quarantineFile(path, reason, detail)
 		s.stats.Misses++
+		s.observe("miss", "")
 		return nil, false
 	}
 	if env.Key != key {
 		// A content-addressing collision is cryptographically impossible;
 		// reaching here means the index is stale. Treat as a miss.
 		s.stats.Misses++
+		s.observe("miss", "")
 		return nil, false
 	}
 	e.size = size
 	s.touchLocked(e)
 	s.stats.Hits++
+	s.observe("hit", "")
 	out := make([]byte, len(env.Payload))
 	copy(out, env.Payload)
 	return out, true
@@ -441,6 +462,7 @@ func (s *Store) Put(key string, payload []byte) error {
 		s.journalTouch(addr)
 	}
 	s.stats.Puts++
+	s.observe("put", "")
 	s.evictToBudgetLocked()
 	return nil
 }
@@ -505,6 +527,7 @@ func (s *Store) evictToBudgetLocked() {
 		}
 		s.dropLocked(e)
 		s.stats.Evictions++
+		s.observe("eviction", "")
 		fmt.Fprintf(s.log, "cellstore: evicted %s (%d bytes) to fit %d-byte budget\n",
 			e.addr[:12], e.size, s.maxBytes)
 	}

@@ -54,6 +54,11 @@ type StoreOptions struct {
 	// records). Nil defaults to os.Stderr: a corrupt cell is re-simulated,
 	// never fatal, but it must not be silent either.
 	Log io.Writer
+	// Observer, when set, receives one call per store operation ("hit",
+	// "miss", "put", "eviction", "quarantine" + reason); see
+	// cellstore.Options.Observer for the contract. The serving layer feeds
+	// its /metrics counters from it.
+	Observer func(op, detail string)
 }
 
 // Checkpoint is a thin view over the durable cell store: it owns the
@@ -121,6 +126,7 @@ func OpenCheckpointStore(dir string, cfg Config, opts StoreOptions) (*Checkpoint
 		Schema:   system.SchemaVersion,
 		MaxBytes: opts.MaxBytes,
 		Log:      logw,
+		Observer: opts.Observer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)

@@ -213,6 +213,12 @@ type runnerState struct {
 	// cell path (Result/get); cache-surgery methods like EvictFailed are
 	// safe.
 	cellObserver func(cellKey string, err error)
+	// cellTelemetry, when set, is called once per settled cell with the
+	// full settlement record (key, wall time, store-vs-fresh provenance,
+	// final error), right after cellObserver. The serving layer feeds its
+	// /metrics instruments from it. Same contract as cellObserver: it must
+	// not re-enter the runner's cell path.
+	cellTelemetry func(CellSettlement)
 	// evictFailed, when true, removes failed cells from the cache once
 	// they settle so a later request re-attempts them. The batch CLI keeps
 	// failures memoized (a sweep should fail each cell once); a long-lived
@@ -328,6 +334,28 @@ func (r *Runner) SetCellHook(h func(cellKey string) error) {
 func (r *Runner) SetCellObserver(obs func(cellKey string, err error)) {
 	r.mu.Lock()
 	r.cellObserver = obs
+	r.mu.Unlock()
+}
+
+// CellSettlement describes one settled cell to the telemetry hook: the
+// cell's key, how long settling it took (wall clock — profiling data, never
+// exported deterministically), whether the result was restored from the
+// durable store rather than simulated, and the final error (nil on
+// success).
+type CellSettlement struct {
+	Key       string
+	WallNS    int64
+	FromStore bool
+	Err       error
+}
+
+// SetCellTelemetry installs a telemetry hook called once per settled cell,
+// after the cell observer. The hook must be fast and must not re-enter the
+// runner's cell path; it exists so the serving layer can count cells and
+// time distributions without a second bookkeeping path in the runner.
+func (r *Runner) SetCellTelemetry(fn func(CellSettlement)) {
+	r.mu.Lock()
+	r.cellTelemetry = fn
 	r.mu.Unlock()
 }
 
@@ -479,25 +507,36 @@ func (r *Runner) runCell(ctx context.Context, key runKey, f *flight) {
 	// deterministic exports (ExportJSON never reads them).
 	//lint:ignore determinism per-cell wall-clock profiling, never feeds simulated state or deterministic exports
 	start := time.Now()
+	fromStore := false
+	// Settlement bookkeeping: record the profiling row, evict canceled (and,
+	// in service mode, failed) cells so a later request re-attempts them, and
+	// notify the observers. One defer, not several: the profile must be
+	// finalized before the observers run, and stacked defers would execute
+	// in the wrong (LIFO) order. Runs after the recover below finalizes
+	// f.err, before waiters wake.
 	defer func() {
 		f.prof = cellProfile{
 			WallNS:    time.Since(start).Nanoseconds(),
 			PeakRSSKB: peakRSSKB(),
 		}
-	}()
-	// Settlement bookkeeping: evict canceled (and, in service mode, failed)
-	// cells so a later request re-attempts them, and notify the observer.
-	// Runs after the recover below finalizes f.err, before waiters wake.
-	defer func() {
 		r.mu.Lock()
 		evict := f.err != nil && (r.evictFailed || errors.Is(f.err, ErrCanceled))
 		if evict && r.cache[key] == f {
 			delete(r.cache, key)
 		}
 		obs := r.cellObserver
+		tel := r.cellTelemetry
 		r.mu.Unlock()
 		if obs != nil {
 			obs(key.String(), f.err)
+		}
+		if tel != nil {
+			tel(CellSettlement{
+				Key:       key.String(),
+				WallNS:    f.prof.WallNS,
+				FromStore: fromStore,
+				Err:       f.err,
+			})
 		}
 	}()
 	defer func() {
@@ -519,6 +558,7 @@ func (r *Runner) runCell(ctx context.Context, key runKey, f *flight) {
 		if res, obs, ok := cp.Load(key); ok {
 			f.res = res
 			f.obs = obs
+			fromStore = true
 			return
 		}
 	}

@@ -86,6 +86,11 @@ type Breaker struct {
 	// now is the clock; injectable so tests drive state transitions
 	// without sleeping.
 	now func() time.Time
+	// onTransition, when set, is called under the breaker's lock with the
+	// class and the state it just entered, once per state change. It must
+	// be fast and must not call back into the breaker; the telemetry layer
+	// counts transitions through it.
+	onTransition func(class, to string)
 }
 
 // NewBreaker returns a breaker with the given config and clock. A nil clock
@@ -95,6 +100,35 @@ func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
 		now = time.Now
 	}
 	return &Breaker{cfg: cfg.withDefaults(), classes: map[string]*breakerClass{}, now: now}
+}
+
+// SetTransitionHook installs the state-transition hook (see onTransition).
+func (b *Breaker) SetTransitionHook(fn func(class, to string)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+// setStateLocked moves a class to state and fires the transition hook.
+// Callers must hold b.mu and only call on an actual change.
+func (b *Breaker) setStateLocked(c *breakerClass, class string, state int) {
+	c.state = state
+	if b.onTransition != nil {
+		b.onTransition(class, stateName(state))
+	}
+}
+
+// openCount reports how many classes are not closed (open or half-open).
+func (b *Breaker) openCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, c := range b.classes {
+		if c.state != stateClosed {
+			n++
+		}
+	}
+	return n
 }
 
 // ClassOf maps a harness cell key to its breaker class: the workload/design
@@ -153,7 +187,7 @@ func (b *Breaker) AllowAll(classes []string) (ok bool, retryAfter time.Duration)
 			continue
 		}
 		if c.state == stateOpen {
-			c.state = stateHalfOpen
+			b.setStateLocked(c, class, stateHalfOpen)
 		}
 		if c.state == stateHalfOpen {
 			c.probing = true
@@ -181,7 +215,7 @@ func (b *Breaker) Report(cellKey string, err error) {
 	case err == nil:
 		if c.state == stateHalfOpen {
 			// Probe succeeded: close and reset the backoff schedule.
-			c.state = stateClosed
+			b.setStateLocked(c, class, stateClosed)
 			c.cooldown = b.cfg.Cooldown
 		}
 		c.probing = false
@@ -192,14 +226,14 @@ func (b *Breaker) Report(cellKey string, err error) {
 		switch c.state {
 		case stateHalfOpen:
 			// Probe failed: reopen with doubled cooldown.
-			c.state = stateOpen
+			b.setStateLocked(c, class, stateOpen)
 			c.probing = false
 			c.openedAt = b.now()
 			c.cooldown = min(c.cooldown*2, b.cfg.MaxCooldown)
 			c.tripped = true
 		case stateClosed:
 			if c.consecutive >= b.cfg.Threshold {
-				c.state = stateOpen
+				b.setStateLocked(c, class, stateOpen)
 				c.openedAt = b.now()
 				c.tripped = true
 			}

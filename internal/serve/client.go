@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"dylect/internal/telemetry"
 )
 
 // Client is the retrying client for the service. Retryable rejections
@@ -92,6 +94,9 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) 
 	if attempts <= 0 {
 		attempts = 6
 	}
+	// One ID per logical call, reused across retries: the server's log then
+	// shows every attempt of a retried request under the same ID.
+	id := telemetry.NewID()
 	var last error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -99,7 +104,7 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) 
 				return nil, err
 			}
 		}
-		resp, err := c.do(ctx, body)
+		resp, err := c.do(ctx, body, id)
 		if err == nil {
 			return resp, nil
 		}
@@ -116,12 +121,13 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) 
 }
 
 // do performs one attempt.
-func (c *Client) do(ctx context.Context, body []byte) (*RunResponse, error) {
+func (c *Client) do(ctx context.Context, body []byte, id string) (*RunResponse, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/run", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(telemetry.HeaderRequestID, id)
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient
@@ -157,6 +163,7 @@ func (c *Client) do(ctx context.Context, body []byte) (*RunResponse, error) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		return nil, fmt.Errorf("serve: decode response: %w", err)
 	}
+	out.RequestID = hresp.Header.Get(telemetry.HeaderRequestID)
 	// The wire carries Results compacted; restore the canonical export
 	// indentation so served bytes are identical to a direct ExportJSONFor.
 	// Indenting only moves whitespace between tokens, so this is lossless.
@@ -198,4 +205,3 @@ func (c *Client) backoff(attempt int, last error) time.Duration {
 	c.mu.Unlock()
 	return j
 }
-

@@ -81,6 +81,10 @@ type RunResponse struct {
 	// Degraded is set when the server shed optional work (interval
 	// sampling) under memory pressure while serving this request.
 	Degraded bool `json:"degraded,omitempty"`
+	// RequestID is the X-Request-ID the server echoed for this request —
+	// transport metadata populated by the client from the response header,
+	// never part of the response body.
+	RequestID string `json:"-"`
 }
 
 // ErrorResponse is the body of every non-200 response.
@@ -90,6 +94,20 @@ type ErrorResponse struct {
 	// RetryAfterSec advises when to retry, mirroring the Retry-After
 	// header. 0 means no advice.
 	RetryAfterSec float64 `json:"retryAfterSec,omitempty"`
+}
+
+// HealthzResponse is the /healthz body: liveness plus just enough identity
+// (schema generation, uptime, store occupancy) for an operator to tell
+// which instance answered.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	// UptimeSec counts from Start; 0 before the server starts serving.
+	UptimeSec float64 `json:"uptimeSec"`
+	// SchemaVersion is the simulator generation this instance speaks
+	// (system.SchemaVersion); mixed fleets show up here first.
+	SchemaVersion string `json:"schemaVersion"`
+	// Store reports the durable cell store, absent without -store.
+	Store *StoreStats `json:"store,omitempty"`
 }
 
 // ExperimentInfo is one entry of the /v1/experiments listing.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -12,7 +14,10 @@ import (
 	"sync"
 	"time"
 
+	"dylect/internal/cellstore"
 	"dylect/internal/harness"
+	"dylect/internal/system"
+	"dylect/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -52,6 +57,18 @@ type Options struct {
 	// integrity/hit-rate counters surface on /healthz and /v1/stats. The
 	// caller opens it (harness.OpenCheckpointStore) and retains ownership.
 	Checkpoint *harness.Checkpoint
+
+	// Telemetry, when set, turns on the operational metric surface: the
+	// GET /metrics exposition endpoint, per-cell and per-request
+	// instruments, and breaker transition counters. Pass the same
+	// Telemetry's StoreObserver into harness.StoreOptions to include store
+	// traffic. Telemetry is strictly observation — deterministic exports
+	// are byte-identical with it on or off, which the byte-identity tests
+	// enforce.
+	Telemetry *Telemetry
+	// Logger receives one structured completion record per /v1/run request
+	// (request ID, client, outcome code, span durations). Nil discards.
+	Logger *slog.Logger
 }
 
 // Server fronts one shared memoizing harness.Runner with the resilient
@@ -64,11 +81,17 @@ type Server struct {
 	brk    *Breaker
 	mem    *MemoryMonitor
 	mux    *http.ServeMux
+	tel    *Telemetry
+	log    *slog.Logger
+	// clock mirrors Options.Now (wall time by default) and stamps request
+	// spans, so fake-clock tests produce deterministic traces.
+	clock func() time.Time
 
 	mu       sync.Mutex
 	ready    bool
 	healthy  bool
 	draining bool
+	startAt  time.Time
 
 	inflight sync.WaitGroup
 	// force is canceled when a drain deadline expires: every in-flight
@@ -93,6 +116,14 @@ func New(opts Options) *Server {
 		opts.MaxTimeout = 10 * time.Minute
 	}
 	s := &Server{opts: opts, runner: harness.NewRunner(opts.Config)}
+	s.clock = opts.Now
+	if s.clock == nil {
+		s.clock = time.Now
+	}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s.runner.SetJobs(opts.Jobs)
 	if opts.CellTimeout > 0 {
 		s.runner.SetCellTimeout(opts.CellTimeout)
@@ -121,6 +152,12 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	if opts.Telemetry != nil {
+		s.tel = opts.Telemetry
+		s.runner.SetCellTelemetry(s.tel.observeCell)
+		s.brk.SetTransitionHook(s.tel.observeBreaker)
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	return s
 }
 
@@ -142,6 +179,7 @@ func (s *Server) Start(ctx context.Context) {
 	s.mu.Lock()
 	s.ready = true
 	s.healthy = true
+	s.startAt = s.clock()
 	s.mu.Unlock()
 }
 
@@ -183,22 +221,29 @@ func (s *Server) isReady() bool {
 	return s.ready
 }
 
+// handleHealthz reports liveness as JSON with uptime and the simulator
+// schema version, so an operator (or a deploy probe) can spot a stale
+// binary at a glance. Health responses must never be cached — a load
+// balancer acting on a stale "ok" defeats the drain sequence.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	ok := s.healthy
+	started := s.startAt
 	s.mu.Unlock()
+	w.Header().Set("Cache-Control", "no-store")
+	resp := HealthzResponse{Status: "ok", SchemaVersion: system.SchemaVersion}
+	if !started.IsZero() {
+		resp.UptimeSec = s.clock().Sub(started).Seconds()
+	}
+	if s.opts.Checkpoint != nil {
+		resp.Store = storeStatsOf(s.opts.Checkpoint.StoreStats())
+	}
 	if !ok {
-		http.Error(w, "draining complete", http.StatusServiceUnavailable)
+		resp.Status = "draining complete"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	fmt.Fprintln(w, "ok")
-	// The store line is operator-facing integrity at a glance; machine
-	// consumers read the structured block on /v1/stats.
-	if s.opts.Checkpoint != nil {
-		st := s.opts.Checkpoint.StoreStats()
-		fmt.Fprintf(w, "store: %d records, %d quarantined, %d hits / %d misses\n",
-			st.Records, st.Quarantined, st.Hits, st.Misses)
-	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -233,61 +278,112 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Draining:    draining,
 	}
 	if s.opts.Checkpoint != nil {
-		st := s.opts.Checkpoint.StoreStats()
-		ss := &StoreStats{
-			Records:         st.Records,
-			Bytes:           st.Bytes,
-			Hits:            st.Hits,
-			Misses:          st.Misses,
-			Puts:            st.Puts,
-			Evictions:       st.Evictions,
-			Quarantined:     st.Quarantined,
-			Reasons:         st.Reasons,
-			OpenVerified:    st.OpenVerified,
-			OpenQuarantined: st.OpenQuarantined,
-		}
-		if lookups := st.Hits + st.Misses; lookups > 0 {
-			ss.HitRate = float64(st.Hits) / float64(lookups)
-		}
-		resp.Store = ss
+		resp.Store = storeStatsOf(s.opts.Checkpoint.StoreStats())
 	}
+	// A stats snapshot is stale the instant it is written; forbid caching.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleRun is the request path: validate -> price -> deadline -> admit ->
-// breaker -> execute -> export. Every rejection carries a stable code and,
-// where retrying makes sense, a Retry-After estimate.
+// storeStatsOf maps the cellstore's counters onto the wire schema.
+func storeStatsOf(st cellstore.Stats) *StoreStats {
+	ss := &StoreStats{
+		Records:         st.Records,
+		Bytes:           st.Bytes,
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Puts:            st.Puts,
+		Evictions:       st.Evictions,
+		Quarantined:     st.Quarantined,
+		Reasons:         st.Reasons,
+		OpenVerified:    st.OpenVerified,
+		OpenQuarantined: st.OpenQuarantined,
+	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		ss.HitRate = float64(st.Hits) / float64(lookups)
+	}
+	return ss
+}
+
+// runMeta collects the request facts worth one structured log line.
+type runMeta struct {
+	client   string
+	cost     int
+	partial  bool
+	degraded bool
+}
+
+// handleRun wraps the request path with its observability envelope: a
+// request ID (honoring an inbound X-Request-ID) echoed on the response, a
+// span trace rendered as Server-Timing, the outcome counters/latency
+// histogram, and one structured completion log record. The envelope is
+// strictly observational — runRequest decides everything.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	reqID := telemetry.OrNewID(r.Header.Get(telemetry.HeaderRequestID))
+	w.Header().Set(telemetry.HeaderRequestID, reqID)
+	tr := telemetry.NewTrace(reqID)
+	start := s.clock()
+	var meta runMeta
+	status, code := s.runRequest(w, r, tr, &meta)
+	elapsed := s.clock().Sub(start)
+	if s.tel != nil {
+		s.tel.requests.Inc(code)
+		s.tel.reqLatency.Observe(elapsed.Seconds())
+	}
+	lvl := slog.LevelInfo
+	if status >= 500 {
+		lvl = slog.LevelWarn
+	}
+	args := []any{
+		"id", reqID, "status", status, "code", code,
+		"client", meta.client, "cost", meta.cost,
+		"partial", meta.partial, "degraded", meta.degraded,
+		"ms", float64(elapsed) / float64(time.Millisecond),
+	}
+	s.log.Log(r.Context(), lvl, "run", append(args, tr.SlogArgs()...)...)
+}
+
+// runRequest is the request path: validate -> price -> deadline -> admit ->
+// breaker -> execute -> export. Every rejection carries a stable code and,
+// where retrying makes sense, a Retry-After estimate; every exit — success
+// or failure — reports its HTTP status and outcome code and carries the
+// span trace in a Server-Timing header.
+func (s *Server) runRequest(w http.ResponseWriter, r *http.Request, tr *telemetry.Trace, meta *runMeta) (int, string) {
+	began := s.clock()
+	// Every exit carries at least the total span, so even a pre-admission
+	// rejection (draining, critical memory) has a non-empty Server-Timing.
+	fail := func(status int, code, msg string, retryAfter time.Duration) (int, string) {
+		tr.Observe("total", s.clock().Sub(began))
+		w.Header().Set(telemetry.HeaderServerTiming, tr.ServerTiming())
+		writeErr(w, status, code, msg, retryAfter)
+		return status, code
+	}
 	if !s.isReady() {
-		writeErr(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", 0)
-		return
+		return fail(http.StatusServiceUnavailable, CodeDraining, "server is draining", 0)
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 
 	var req RunRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, "decode request: "+err.Error(), 0)
-		return
+		return fail(http.StatusBadRequest, CodeBadRequest, "decode request: "+err.Error(), 0)
 	}
+	meta.client = clientOf(req, r)
 	if len(req.Experiments) == 0 {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, "no experiments requested", 0)
-		return
+		return fail(http.StatusBadRequest, CodeBadRequest, "no experiments requested", 0)
 	}
 	var exps []harness.Experiment
 	for _, name := range req.Experiments {
 		e, ok := harness.ByName(name)
 		if !ok {
-			writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			return fail(http.StatusBadRequest, CodeBadRequest,
 				fmt.Sprintf("unknown experiment %q", name), 0)
-			return
 		}
 		exps = append(exps, e)
 	}
 	if s.mem.Level() >= MemCritical {
-		writeErr(w, http.StatusServiceUnavailable, CodeOverloaded,
+		return fail(http.StatusServiceUnavailable, CodeOverloaded,
 			"refusing work under critical memory pressure", s.mem.cfg.Interval*4)
-		return
 	}
 
 	// The request deadline covers queueing and execution; it propagates
@@ -306,20 +402,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer stopForce()
 
 	// Price the request from its dry-run plan: fresh simulations cost,
-	// cached cells are free.
+	// cached cells are free. The queue-wait span (and histogram sample) is
+	// recorded for every request that reaches admission, including ones
+	// admitted instantly — a zero wait is information, not noise.
 	cost := s.runner.FreshCost(exps)
-	release, aerr := s.adm.Acquire(ctx, clientOf(req, r), cost)
+	meta.cost = cost
+	queuedAt := s.clock()
+	release, aerr := s.adm.Acquire(ctx, meta.client, cost)
+	wait := s.clock().Sub(queuedAt)
+	tr.Observe("queue", wait)
+	if s.tel != nil {
+		s.tel.queueWait.Observe(wait.Seconds())
+	}
 	if aerr != nil {
-		writeErr(w, statusOf(aerr.Code), aerr.Code, aerr.Msg, aerr.RetryAfter)
-		return
+		return fail(statusOf(aerr.Code), aerr.Code, aerr.Msg, aerr.RetryAfter)
 	}
 	defer release()
 
 	classes := classesOf(s.runner.Cfg, exps)
 	if ok, retry := s.brk.AllowAll(classes); !ok {
-		writeErr(w, http.StatusServiceUnavailable, CodeBreakerOpen,
+		return fail(http.StatusServiceUnavailable, CodeBreakerOpen,
 			"circuit open for a (workload, design) class this request needs", retry)
-		return
 	}
 	// A probe committed above normally settles through the cell observer;
 	// if this request's cells were all cached (nothing fresh to observe),
@@ -328,13 +431,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	view := s.runner.WithContext(ctx)
 	degraded := s.mem.Level() >= MemDegraded
+	meta.degraded = degraded
 	if degraded {
 		// Shed observability before work: interval sampling is the most
 		// memory-proportional optional feature and provably does not
 		// change exported results.
 		view.Cfg.MetricsSamples = 0
 	}
+	runAt := s.clock()
 	outs := harness.RunShared(view, exps)
+	tr.Observe("run", s.clock().Sub(runAt))
 
 	resp := RunResponse{Degraded: degraded}
 	for _, out := range outs {
@@ -348,13 +454,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Experiments = append(resp.Experiments, er)
 	}
+	meta.partial = resp.Partial
+	exportAt := s.clock()
 	results, err := view.ExportJSONFor(exps)
+	tr.Observe("export", s.clock().Sub(exportAt))
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "export_failed", err.Error(), 0)
-		return
+		return fail(http.StatusInternalServerError, "export_failed", err.Error(), 0)
 	}
 	resp.Results = results
+	tr.Observe("total", s.clock().Sub(began))
+	w.Header().Set(telemetry.HeaderServerTiming, tr.ServerTiming())
 	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, "ok"
 }
 
 // classesOf returns the deduplicated breaker classes of the experiments'

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// build returns a registry exercising every instrument kind.
+func build() (*Registry, *Counter, *Gauge, *Histogram) {
+	r := NewRegistry()
+	c := r.NewCounter("test_requests_total", "Requests by code.", "code")
+	g := r.NewGauge("test_queue_depth", "Queued requests.")
+	h := r.NewHistogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10}, "class")
+	return r, c, g, h
+}
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r, c, g, h := build()
+	c.Inc("ok")
+	c.Inc("ok")
+	c.Inc("shed")
+	g.Set(3)
+	h.Observe(0.05, "a/b") // le 0.1
+	h.Observe(5, "a/b")    // le 10
+	h.Observe(99, "a/b")   // +Inf
+	h.Observe(0.5, "c/d")  // le 1
+
+	text := expose(t, r)
+	fams, err := ParseExposition([]byte(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, text)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3:\n%s", len(fams), text)
+	}
+
+	req := FindFamily(fams, "test_requests_total")
+	if req == nil || req.Kind != KindCounter {
+		t.Fatalf("missing counter family: %+v", fams)
+	}
+	if got := req.Sum(map[string]string{"code": "ok"}); got != 2 {
+		t.Errorf("ok count = %v, want 2", got)
+	}
+	if got := req.Sum(nil); got != 3 {
+		t.Errorf("total = %v, want 3", got)
+	}
+
+	depth := FindFamily(fams, "test_queue_depth")
+	if got := depth.Sum(nil); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+
+	lat := FindFamily(fams, "test_latency_seconds")
+	if got := lat.Sum(nil); got != 4 {
+		t.Errorf("histogram count = %v, want 4", got)
+	}
+	if got := lat.Sum(map[string]string{"class": "a/b"}); got != 3 {
+		t.Errorf("a/b count = %v, want 3", got)
+	}
+	if q := lat.Quantile(0.5, map[string]string{"class": "a/b"}); q < 0.1 || q > 10 {
+		t.Errorf("p50 = %v, want within (0.1, 10)", q)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	render := func(order []string) string {
+		r, c, _, h := build()
+		for _, code := range order {
+			c.Inc(code)
+		}
+		h.Observe(0.2, "a/b")
+		var sb strings.Builder
+		r.WriteTo(&sb)
+		return sb.String()
+	}
+	a := render([]string{"ok", "shed", "ok"})
+	b := render([]string{"shed", "ok", "ok"})
+	if a != b {
+		t.Errorf("exposition depends on touch order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestEmptyFamiliesStillDeclared(t *testing.T) {
+	r, _, _, _ := build()
+	text := expose(t, r)
+	for _, want := range []string{
+		"# HELP test_requests_total", "# TYPE test_requests_total counter",
+		"# TYPE test_queue_depth gauge", "# TYPE test_latency_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := ParseExposition([]byte(text)); err != nil {
+		t.Errorf("empty exposition does not parse: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_esc_total", "Escapes.", "v")
+	c.Inc(`a\b"c` + "\nd")
+	text := expose(t, r)
+	fams, err := ParseExposition([]byte(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, text)
+	}
+	f := FindFamily(fams, "test_esc_total")
+	if len(f.Samples) != 1 {
+		t.Fatalf("samples = %+v", f.Samples)
+	}
+	if got := f.Samples[0].Labels["v"]; got != "a\\b\"c\nd" {
+		t.Errorf("label round trip = %q", got)
+	}
+}
+
+func TestParserRejectsUndeclaredSample(t *testing.T) {
+	_, err := ParseExposition([]byte("mystery_total 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "no HELP/TYPE") {
+		t.Errorf("undeclared sample accepted: %v", err)
+	}
+}
+
+func TestParserRejectsBadHistograms(t *testing.T) {
+	cases := map[string]string{
+		"non-monotone": `# HELP h H.
+# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"count mismatch": `# HELP h H.
+# TYPE h histogram
+h_bucket{le="1"} 2
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 4
+`,
+		"no +Inf": `# HELP h H.
+# TYPE h histogram
+h_bucket{le="1"} 2
+h_sum 1
+h_count 2
+`,
+		"missing sum": `# HELP h H.
+# TYPE h histogram
+h_bucket{le="+Inf"} 2
+h_count 2
+`,
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition([]byte(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParserRejectsNegativeCounter(t *testing.T) {
+	text := "# HELP c C.\n# TYPE c counter\nc -1\n"
+	if _, err := ParseExposition([]byte(text)); err == nil {
+		t.Error("negative counter accepted")
+	}
+	// Gauges may be negative.
+	text = "# HELP g G.\n# TYPE g gauge\ng -1\n"
+	if _, err := ParseExposition([]byte(text)); err != nil {
+		t.Errorf("negative gauge rejected: %v", err)
+	}
+}
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_h", "H.", []float64{1, 2})
+	h.Observe(1)   // on-edge lands in le=1 (le is inclusive)
+	h.Observe(1.5) // le=2
+	h.Observe(3)   // +Inf
+	fams, err := ParseExposition([]byte(expose(t, r)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FindFamily(fams, "test_h")
+	want := map[string]float64{"1": 1, "2": 2, "+Inf": 3}
+	for _, s := range f.Samples {
+		if s.Name != "test_h_bucket" {
+			continue
+		}
+		if got := want[s.Labels["le"]]; got != s.Value {
+			t.Errorf("bucket le=%s = %v, want %v", s.Labels["le"], s.Value, got)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	f := &Family{Name: "h", Kind: KindHistogram}
+	if q := f.Quantile(0.5, nil); !math.IsNaN(q) {
+		t.Errorf("quantile of empty histogram = %v, want NaN", q)
+	}
+}

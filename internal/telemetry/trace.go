@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request identity and span tracing. Every request through dylect-served
+// gets an ID — honoring an inbound X-Request-ID so a caller's correlation
+// survives into server logs — that is echoed back on the response, reused
+// verbatim across a client's retry attempts, and attached to every
+// structured log record the request produces. Spans are named durations the
+// handler measures with its own (injectable) clock; this package only
+// stores and renders them, so a fake clock in tests produces fully
+// deterministic traces.
+
+// Standard header names.
+const (
+	HeaderRequestID    = "X-Request-ID"
+	HeaderServerTiming = "Server-Timing"
+)
+
+// idNonce distinguishes processes: two servers (or a server and its client)
+// generating IDs concurrently cannot collide on the counter alone.
+var idNonce = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var idCounter atomic.Uint64
+
+// NewID returns a fresh process-unique request ID.
+func NewID() string {
+	return fmt.Sprintf("r-%s-%d", idNonce, idCounter.Add(1))
+}
+
+// SanitizeID validates an inbound request ID: printable ASCII, no spaces,
+// at most 128 bytes. Anything else returns "" (caller mints a fresh ID) —
+// an inbound header is attacker-controlled text headed for log lines.
+func SanitizeID(s string) string {
+	if len(s) == 0 || len(s) > 128 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] > '~' || s[i] == '"' {
+			return ""
+		}
+	}
+	return s
+}
+
+// OrNewID returns the sanitized inbound ID, or a fresh one.
+func OrNewID(inbound string) string {
+	if id := SanitizeID(inbound); id != "" {
+		return id
+	}
+	return NewID()
+}
+
+// Span is one named duration inside a request.
+type Span struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Trace accumulates the spans of one request. Safe for concurrent use.
+type Trace struct {
+	ID string
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace for the given request ID.
+func NewTrace(id string) *Trace { return &Trace{ID: id} }
+
+// Observe records one completed span.
+func (t *Trace) Observe(name string, d time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in observation order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// ServerTiming renders the spans as a Server-Timing header value:
+// `queue;dur=1.2, run;dur=345.6` (durations in milliseconds, the header's
+// unit).
+func (t *Trace) ServerTiming() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parts := make([]string, 0, len(t.spans))
+	for _, s := range t.spans {
+		parts = append(parts, fmt.Sprintf("%s;dur=%.1f", s.Name, float64(s.Dur)/float64(time.Millisecond)))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// SlogArgs renders the spans as alternating slog key/value args
+// ("span_queue_ms", 1.2, ...) for one structured completion record.
+func (t *Trace) SlogArgs() []any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	args := make([]any, 0, 2*len(t.spans))
+	for _, s := range t.spans {
+		args = append(args, "span_"+s.Name+"_ms", float64(s.Dur)/float64(time.Millisecond))
+	}
+	return args
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+		if SanitizeID(id) != id {
+			t.Fatalf("generated id %q does not survive its own sanitizer", id)
+		}
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"abc-123":                   "abc-123",
+		"":                          "",
+		"has space":                 "",
+		"ctrl\x01char":              "",
+		"quo\"te":                   "",
+		strings.Repeat("x", 128):    strings.Repeat("x", 128),
+		strings.Repeat("x", 129):    "",
+		"newline\n":                 "",
+		"unicode-é":                 "",
+		"weird-but-fine_~!#$%&'()*": "weird-but-fine_~!#$%&'()*",
+	}
+	for in, want := range cases {
+		if got := SanitizeID(in); got != want {
+			t.Errorf("SanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if id := OrNewID("inbound-7"); id != "inbound-7" {
+		t.Errorf("OrNewID honored = %q", id)
+	}
+	if id := OrNewID("bad id"); id == "" || id == "bad id" {
+		t.Errorf("OrNewID replacement = %q", id)
+	}
+}
+
+func TestTraceServerTiming(t *testing.T) {
+	tr := NewTrace("r-1")
+	tr.Observe("queue", 1500*time.Microsecond)
+	tr.Observe("run", 2*time.Second)
+	got := tr.ServerTiming()
+	want := "queue;dur=1.5, run;dur=2000.0"
+	if got != want {
+		t.Errorf("ServerTiming = %q, want %q", got, want)
+	}
+	args := tr.SlogArgs()
+	if len(args) != 4 || args[0] != "span_queue_ms" || args[2] != "span_run_ms" {
+		t.Errorf("SlogArgs = %v", args)
+	}
+	if len(tr.Spans()) != 2 {
+		t.Errorf("Spans = %v", tr.Spans())
+	}
+}

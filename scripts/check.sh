@@ -20,9 +20,13 @@
 #            dylect-plot -validate-only (OBS_DIR keeps the artifacts)
 #   serve    experiment-service smoke: race-mode unit tests for
 #            internal/serve and cmd/dylect-served, then a shell round trip —
-#            boot dylect-served on an ephemeral port, run the client
-#            subcommand against it, SIGTERM, and require a clean drain
-#            (the full chaos soak runs under the race step)
+#            boot dylect-served (durable store, JSON logging) on an
+#            ephemeral port, run the client against it, scrape /metrics
+#            through `dylect-served top -raw` (the strict exposition parser
+#            gates the scrape), SIGTERM, require a clean drain, then a warm
+#            reboot on the same store whose scrape must show store-sourced
+#            cells and no fresh simulations (SERVE_DIR keeps the server
+#            log and both scrapes; the full chaos soak runs under race)
 #   store    durable-store gate: race-mode unit tests for the content-
 #            addressed cell store (corruption matrix, LRU journal,
 #            concurrent eviction) and the harness chaos suite, then the
@@ -133,43 +137,104 @@ if want obs; then
 fi
 
 if want serve; then
-	echo "== serve smoke (race units + round trip + graceful drain)"
+	echo "== serve smoke (race units + round trip + /metrics scrape + warm restart)"
 	# -short skips the simulation-heavy soak/byte-identity tests; the full
 	# chaos suite runs with everything else under the race step.
 	go test -race -short -count=1 ./internal/serve ./cmd/dylect-served
 
-	serve_dir="$(mktemp -d)"
+	# SERVE_DIR keeps the server log and both scrapes (CI uploads them);
+	# default is ephemeral.
+	serve_dir="${SERVE_DIR:-$(mktemp -d)}"
+	mkdir -p "$serve_dir"
 	go build -o "$serve_dir/dylect-served" ./cmd/dylect-served
 	serve_log="$serve_dir/server.log"
-	"$serve_dir/dylect-served" -addr 127.0.0.1:0 -quick 2>"$serve_log" &
-	serve_pid=$!
-	addr=""
-	for _ in $(seq 1 100); do
-		addr="$(sed -n 's/.*dylect-served listening on \(.*\)/\1/p' "$serve_log")"
-		[ -n "$addr" ] && break
-		sleep 0.1
-	done
-	if [ -z "$addr" ]; then
-		echo "dylect-served never printed its address" >&2
+	serve_flags=(-addr 127.0.0.1:0 -workloads omnetpp -scale 32 -warmup 5000
+		-window 5 -store "$serve_dir/store" -log-json)
+
+	# boot_served starts the server and sets serve_pid/addr. log_mark
+	# remembers where this boot's log begins: both boots append to one
+	# file, so the address scan and the drain check must ignore earlier
+	# boots' lines or the warm boot would pick up the cold address.
+	boot_served() {
+		log_mark=$(wc -l 2>/dev/null <"$serve_log" || echo 0)
+		"$serve_dir/dylect-served" "${serve_flags[@]}" >>"$serve_log" 2>&1 &
+		serve_pid=$!
+		addr=""
+		for _ in $(seq 1 100); do
+			addr="$(tail -n +$((log_mark + 1)) "$serve_log" 2>/dev/null |
+				sed -n 's/.*dylect-served listening on \(.*\)/\1/p' | tail -1)"
+			[ -n "$addr" ] && break
+			sleep 0.1
+		done
+		if [ -z "$addr" ]; then
+			echo "dylect-served never printed its address" >&2
+			cat "$serve_log" >&2
+			kill "$serve_pid" 2>/dev/null || true
+			exit 1
+		fi
+	}
+	# stop_served SIGTERMs the server and requires a clean drain of this
+	# boot (lines past log_mark only).
+	stop_served() {
+		kill -TERM "$serve_pid"
+		rc=0
+		wait "$serve_pid" || rc=$?
+		serve_pid=""
+		if [ "$rc" -ne 0 ]; then
+			echo "dylect-served exited $rc after SIGTERM (want 0)" >&2
+			cat "$serve_log" >&2
+			exit 1
+		fi
+		if ! tail -n +$((log_mark + 1)) "$serve_log" | grep -q "drained cleanly"; then
+			echo "dylect-served drain was not clean" >&2
+			cat "$serve_log" >&2
+			exit 1
+		fi
+	}
+	# A failed assertion between boot and stop must not leak the server
+	# (a surviving child holds the step's output pipe open under CI).
+	trap '[ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+	# metric_nonzero FILE PATTERN: a sample matching PATTERN has value >= 1.
+	metric_nonzero() {
+		grep "$2" "$1" | grep -Evq ' 0(\.0+)?$' || {
+			echo "scrape $1: no nonzero sample matching '$2'" >&2
+			exit 1
+		}
+	}
+
+	# Cold boot: fresh simulations fill the store; the scrape must parse
+	# (top -raw runs the strict exposition parser before printing) and show
+	# request/queue histograms plus fresh-sourced cells.
+	boot_served
+	"$serve_dir/dylect-served" client -addr "http://$addr" -exp fig18 -client check-sh >/dev/null
+	"$serve_dir/dylect-served" top -addr "http://$addr" -raw >"$serve_dir/metrics-cold.txt"
+	metric_nonzero "$serve_dir/metrics-cold.txt" '^dylect_requests_total{code="ok"}'
+	metric_nonzero "$serve_dir/metrics-cold.txt" '^dylect_request_seconds_count'
+	metric_nonzero "$serve_dir/metrics-cold.txt" '^dylect_queue_wait_seconds_count'
+	metric_nonzero "$serve_dir/metrics-cold.txt" 'dylect_cells_total{class="omnetpp/.*source="fresh"'
+	metric_nonzero "$serve_dir/metrics-cold.txt" 'dylect_store_ops_total{op="put"}'
+	if ! grep -q '"span_run_ms"' "$serve_log"; then
+		echo "structured request log missing span fields" >&2
 		cat "$serve_log" >&2
-		kill "$serve_pid" 2>/dev/null || true
 		exit 1
 	fi
-	"$serve_dir/dylect-served" client -addr "http://$addr" -exp table3 -client check-sh >/dev/null
-	kill -TERM "$serve_pid"
-	rc=0
-	wait "$serve_pid" || rc=$?
-	if [ "$rc" -ne 0 ]; then
-		echo "dylect-served exited $rc after SIGTERM (want 0)" >&2
-		cat "$serve_log" >&2
+	stop_served
+
+	# Warm reboot on the same store: the same request must settle entirely
+	# from the store — store-sourced cells, store hits, zero fresh
+	# simulations (the fresh series is never even created).
+	boot_served
+	"$serve_dir/dylect-served" client -addr "http://$addr" -exp fig18 -client check-sh >/dev/null
+	"$serve_dir/dylect-served" top -addr "http://$addr" -raw >"$serve_dir/metrics-warm.txt"
+	metric_nonzero "$serve_dir/metrics-warm.txt" 'dylect_cells_total{class="omnetpp/.*source="store"'
+	metric_nonzero "$serve_dir/metrics-warm.txt" 'dylect_store_ops_total{op="hit"}'
+	if grep 'dylect_cells_total{' "$serve_dir/metrics-warm.txt" | grep -q 'source="fresh"'; then
+		echo "warm restart re-simulated cells the store should have served:" >&2
+		grep 'dylect_cells_total' "$serve_dir/metrics-warm.txt" >&2
 		exit 1
 	fi
-	if ! grep -q "drained cleanly" "$serve_log"; then
-		echo "dylect-served drain was not clean" >&2
-		cat "$serve_log" >&2
-		exit 1
-	fi
-	rm -rf "$serve_dir"
+	stop_served
+	[ -n "${SERVE_DIR:-}" ] || rm -rf "$serve_dir"
 fi
 
 if want store; then
