@@ -18,11 +18,52 @@ import (
 	"dylect/internal/serve"
 )
 
+// bootState is everything the shared boot path builds before serving, handed
+// to a mode extension (worker / coordinator) so it can mount handlers, wire
+// the fabric, and hook the drain sequence.
+type bootState struct {
+	cfg    harness.Config
+	cp     *harness.Checkpoint
+	tel    *serve.Telemetry
+	srv    *serve.Server
+	logger *slog.Logger
+	errOut io.Writer
+	// mux is the process mux: "/" routes to the serve.Server handler; modes
+	// add fabric endpoints beside it.
+	mux *http.ServeMux
+	// listenAddr is the bound listener address (the kernel's pick under :0).
+	listenAddr string
+	// preDrain (announce departure) runs as soon as shutdown starts;
+	// postDrain (drain sidecar work, stop loops) runs after the server
+	// drained. Either may be nil.
+	preDrain  func()
+	postDrain func(ctx context.Context)
+}
+
+// modeExt customizes the shared server boot for a subcommand: extra flags,
+// then a configure step that runs with the listener bound but before the
+// readiness line prints.
+type modeExt struct {
+	name      string
+	addFlags  func(fs *flag.FlagSet)
+	configure func(ctx context.Context, b *bootState) error
+}
+
 // serverCLI runs the service until ctx is canceled, then drains and exits.
 // It returns a process exit code; main stays a thin shell so the whole
 // command is testable.
 func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
-	fs := flag.NewFlagSet("dylect-served", flag.ContinueOnError)
+	return servedCLI(ctx, args, out, errOut, nil)
+}
+
+// servedCLI is the shared boot/serve/drain path behind the server, worker,
+// and coordinator subcommands.
+func servedCLI(ctx context.Context, args []string, out, errOut io.Writer, ext *modeExt) int {
+	name := "dylect-served"
+	if ext != nil {
+		name += " " + ext.name
+	}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:8344", "listen address (host:port; :0 picks a port)")
@@ -61,6 +102,9 @@ func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
 		logLevel  = fs.String("log-level", "info", "request log level: debug, info, warn, error")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off; keep it loopback)")
 	)
+	if ext != nil && ext.addFlags != nil {
+		ext.addFlags(fs)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -156,11 +200,25 @@ func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	srv.Start(ctx)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	b := &bootState{
+		cfg: cfg, cp: cp, tel: tel, srv: srv, logger: logger, errOut: errOut,
+		mux: mux, listenAddr: ln.Addr().String(),
+	}
+	if ext != nil && ext.configure != nil {
+		if err := ext.configure(ctx, b); err != nil {
+			fmt.Fprintf(errOut, "%s: %v\n", ext.name, err)
+			ln.Close()
+			return 1
+		}
+	}
 	// The address line is the readiness handshake for scripts (the port may
 	// have been picked by the kernel under :0).
 	fmt.Fprintf(errOut, "dylect-served listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -171,10 +229,16 @@ func serverCLI(ctx context.Context, args []string, out, errOut io.Writer) int {
 	case <-ctx.Done():
 	}
 
+	if b.preDrain != nil {
+		b.preDrain()
+	}
 	fmt.Fprintf(errOut, "draining (grace %s)...\n", *drainGrace)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	clean := srv.Drain(drainCtx)
+	if b.postDrain != nil {
+		b.postDrain(drainCtx)
+	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := hs.Shutdown(shutCtx); err != nil {

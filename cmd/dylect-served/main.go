@@ -9,6 +9,13 @@
 //	dylect-served -addr :8344 -mem-limit 4096 -max-cost 16
 //	dylect-served client -addr http://127.0.0.1:8344 -exp fig4,fig18
 //	dylect-served top -addr http://127.0.0.1:8344
+//	dylect-served worker -addr :0 -quick -coordinator http://127.0.0.1:8344
+//	dylect-served coordinator -addr :8344 -quick -workers http://127.0.0.1:9001
+//
+// worker and coordinator form the distributed sweep fabric (internal/fabric,
+// DESIGN.md §16): the coordinator plans and merges sweeps, dispatching
+// checkpoint-missing cells over a consistent-hash ring of workers; merged
+// exports are byte-identical to a single-process run.
 //
 // The server prints "listening on ADDR" to stderr once the listener is up.
 // SIGINT/SIGTERM triggers the drain sequence: /readyz flips to 503
@@ -33,6 +40,10 @@ func main() {
 		code = clientCLI(ctx, os.Args[2:], os.Stdout, os.Stderr)
 	case len(os.Args) > 1 && os.Args[1] == "top":
 		code = topCLI(ctx, os.Args[2:], os.Stdout, os.Stderr)
+	case len(os.Args) > 1 && os.Args[1] == "worker":
+		code = workerCLI(ctx, os.Args[2:], os.Stdout, os.Stderr)
+	case len(os.Args) > 1 && os.Args[1] == "coordinator":
+		code = coordinatorCLI(ctx, os.Args[2:], os.Stdout, os.Stderr)
 	default:
 		code = serverCLI(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	}

@@ -149,6 +149,8 @@ func renderFrame(fams []*telemetry.Family, prev []*telemetry.Family, interval ti
 	}
 	sb.WriteByte('\n')
 
+	sb.WriteString(clusterPanel(fams))
+
 	if chart := labelChart(fams, "dylect_requests_total", "requests by outcome", "code"); chart != "" {
 		sb.WriteString(chart)
 		sb.WriteByte('\n')
@@ -161,6 +163,33 @@ func renderFrame(fams []*telemetry.Family, prev []*telemetry.Family, interval ti
 		sb.WriteString(chart)
 		sb.WriteByte('\n')
 	}
+	return sb.String()
+}
+
+// clusterPanel renders the fabric section when the scrape is a
+// coordinator's: ring membership, dispatch outcomes per worker, hedges, and
+// orphans. A scrape without fabric families (plain server, worker) renders
+// nothing.
+func clusterPanel(fams []*telemetry.Family) string {
+	ring := telemetry.FindFamily(fams, "dylect_fabric_ring_workers")
+	disp := telemetry.FindFamily(fams, "dylect_fabric_dispatches_total")
+	if ring == nil && (disp == nil || len(disp.Samples) == 0) {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cluster   ring %.6g/%.6g workers  hedges fired %.6g won %.6g  orphans %.6g\n",
+		famSum(fams, "dylect_fabric_ring_workers"),
+		famSum(fams, "dylect_fabric_workers_known"),
+		famSumWhere(fams, "dylect_fabric_hedges_total", map[string]string{"event": "fired"}),
+		famSumWhere(fams, "dylect_fabric_hedges_total", map[string]string{"event": "won"}),
+		famSum(fams, "dylect_fabric_orphans_total"))
+	if chart := labelChart(fams, "dylect_fabric_dispatches_total", "dispatches by worker", "worker"); chart != "" {
+		sb.WriteString(chart)
+	}
+	if chart := labelChart(fams, "dylect_fabric_dispatches_total", "dispatches by outcome", "outcome"); chart != "" {
+		sb.WriteString(chart)
+	}
+	sb.WriteByte('\n')
 	return sb.String()
 }
 

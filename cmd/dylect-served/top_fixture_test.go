@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dylect/internal/telemetry"
+)
+
+func mustParseScrape(t *testing.T, text string) []*telemetry.Family {
+	t.Helper()
+	fams, err := telemetry.ParseExposition([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// TestTopZeroSampleScrape renders a frame from the fresh-boot fixture: every
+// family declared, counters sample-less, one histogram with explicit
+// all-zero buckets and one with a flat cumulative curve. A zero-sample
+// scrape is what top sees the moment a server (or coordinator) boots, and
+// it must exit 0 with "-" latencies, not divide by zero.
+func TestTopZeroSampleScrape(t *testing.T) {
+	var out, errOut strings.Builder
+	code := topCLI(context.Background(), []string{"-scrape", "testdata/zero_sample.scrape"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	frame := out.String()
+	// The zero-bucket request histogram renders as "-", never NaN or Inf.
+	if !strings.Contains(frame, "p50 -") || !strings.Contains(frame, "p95 -") {
+		t.Errorf("zero-sample latencies not rendered as '-':\n%s", frame)
+	}
+	for _, banned := range []string{"NaN", "Inf", "inf"} {
+		if strings.Contains(frame, banned) {
+			t.Errorf("frame leaks %q:\n%s", banned, frame)
+		}
+	}
+	// The flat queue-wait curve interpolates inside its mass bucket.
+	if !strings.Contains(frame, "queue-wait p95") {
+		t.Errorf("queue-wait quantile missing:\n%s", frame)
+	}
+	// Fabric gauges are present (value 0), so the cluster panel renders the
+	// idle-coordinator state instead of being suppressed.
+	if !strings.Contains(frame, "cluster   ring 0/0 workers") {
+		t.Errorf("cluster panel missing for a scrape with fabric families:\n%s", frame)
+	}
+}
+
+// TestTopClusterPanelSuppressedWithoutFabric: a plain server scrape (no
+// fabric families) must not render a cluster section.
+func TestTopClusterPanelSuppressedWithoutFabric(t *testing.T) {
+	fams := mustParseScrape(t, `# HELP dylect_requests_total r
+# TYPE dylect_requests_total counter
+dylect_requests_total{code="ok"} 3
+`)
+	frame := renderFrame(fams, nil, 0)
+	if strings.Contains(frame, "cluster") {
+		t.Errorf("cluster panel rendered without fabric families:\n%s", frame)
+	}
+}

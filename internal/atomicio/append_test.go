@@ -1,0 +1,64 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendFileCreatesThenAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "evidence.log")
+	if err := AppendFile(path, []byte("line one\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendFile(path, []byte("line two\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "line one\nline two\n" {
+		t.Fatalf("content = %q", data)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o644 {
+		t.Fatalf("perm = %o, want 644", got)
+	}
+}
+
+// TestAppendFileErrorPaths: a missing parent directory and a directory
+// squatting on the log's path both surface as errors instead of silently
+// dropping the evidence line.
+func TestAppendFileErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	if err := AppendFile(filepath.Join(dir, "no-such-dir", "x.log"), []byte("x"), 0o644); err == nil {
+		t.Error("append into a missing directory succeeded")
+	}
+	squatter := filepath.Join(dir, "squatter.log")
+	if err := os.Mkdir(squatter, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendFile(squatter, []byte("x"), 0o644); err == nil {
+		t.Error("append onto a directory succeeded")
+	}
+}
+
+// TestAppendFileToleratesEINVALOnDirSync mirrors the WriteFile test: the
+// create-path directory fsync must tolerate filesystems that reject
+// directory fsync.
+func TestAppendFileToleratesEINVALOnDirSync(t *testing.T) {
+	dir := t.TempDir()
+	orig := openDirFile
+	openDirFile = func(d string) (*os.File, error) {
+		return os.OpenFile(os.DevNull, os.O_RDWR, 0)
+	}
+	t.Cleanup(func() { openDirFile = orig })
+	if err := AppendFile(filepath.Join(dir, "new.log"), []byte("x\n"), 0o644); err != nil {
+		t.Fatalf("EINVAL from directory fsync not tolerated: %v", err)
+	}
+}

@@ -89,3 +89,35 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	}
 	return nil
 }
+
+// AppendFile durably appends data to path, creating it (perm) if missing:
+// the write is fsynced before the file closes, and a newly created file's
+// directory entry is fsynced too. Appends are not atomic the way WriteFile's
+// rename is — a crash mid-append can leave a torn tail — so this suits
+// line-oriented evidence logs whose readers tolerate a partial final line
+// (the quarantine log, the recency journal), not records.
+func AppendFile(path string, data []byte, perm os.FileMode) error {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, perm)
+	if err != nil {
+		return fmt.Errorf("atomicio: append %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("atomicio: append %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("atomicio: append %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("atomicio: append %s: %w", path, err)
+	}
+	if created {
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			return fmt.Errorf("atomicio: sync dir for %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -287,29 +287,78 @@ func (s *Store) verifyFile(path, addr string) (env envelope, size int64, reason,
 	if err != nil {
 		return env, 0, ReasonUnparsable, "unreadable: " + err.Error()
 	}
-	if len(data) == 0 {
-		return env, 0, ReasonEmpty, "zero-byte record"
-	}
-	if err := json.Unmarshal(data, &env); err != nil {
-		return env, 0, ReasonUnparsable, "envelope does not parse: " + err.Error()
-	}
-	if env.Format != formatVersion {
-		return env, 0, ReasonFormat, fmt.Sprintf("record format %d, store speaks %d", env.Format, formatVersion)
-	}
-	if env.Schema != s.schema {
-		return env, 0, ReasonSchema, fmt.Sprintf("record schema %q, store pinned to %q", env.Schema, s.schema)
+	env, reason, detail = verifyEnvelope(s.schema, data)
+	if reason != "" {
+		return env, 0, reason, detail
 	}
 	if addrOf(env.Key) != addr {
 		return env, 0, ReasonMisplaced, fmt.Sprintf("key %q does not address this file", env.Key)
 	}
+	return env, int64(len(data)), "", ""
+}
+
+// verifyEnvelope checks everything about an envelope that does not depend on
+// where it sits on disk: parse, format version, schema pin, and the payload
+// checksum. It returns a quarantine reason ("" = verified).
+func verifyEnvelope(schema string, data []byte) (env envelope, reason, detail string) {
+	if len(data) == 0 {
+		return env, ReasonEmpty, "zero-byte record"
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return env, ReasonUnparsable, "envelope does not parse: " + err.Error()
+	}
+	if env.Format != formatVersion {
+		return env, ReasonFormat, fmt.Sprintf("record format %d, store speaks %d", env.Format, formatVersion)
+	}
+	if env.Schema != schema {
+		return env, ReasonSchema, fmt.Sprintf("record schema %q, store pinned to %q", env.Schema, schema)
+	}
 	sum, err := payloadSum(env.Payload)
 	if err != nil {
-		return env, 0, ReasonUnparsable, "payload does not parse: " + err.Error()
+		return env, ReasonUnparsable, "payload does not parse: " + err.Error()
 	}
 	if sum != env.SHA256 {
-		return env, 0, ReasonChecksum, fmt.Sprintf("payload hashes to %s, record claims %s", sum[:12], clip(env.SHA256, 12))
+		return env, ReasonChecksum, fmt.Sprintf("payload hashes to %s, record claims %s", sum[:12], clip(env.SHA256, 12))
 	}
-	return env, int64(len(data)), "", ""
+	return env, "", ""
+}
+
+// EncodeEnvelope wraps payload (valid JSON) in the store's on-disk envelope
+// for key: the exact bytes Put would write. The fabric's workers use it to
+// ship a record to the coordinator in a form the coordinator can verify with
+// DecodeEnvelope before trusting a byte of it.
+func EncodeEnvelope(schema, key string, payload []byte) ([]byte, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return nil, fmt.Errorf("cellstore: encode %q: payload is not valid JSON: %w", key, err)
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	env := envelope{
+		Format:  formatVersion,
+		Schema:  schema,
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: json.RawMessage(compact.Bytes()),
+	}
+	return json.Marshal(&env)
+}
+
+// DecodeEnvelope verifies an envelope received off the wire — parse, format,
+// schema pin, payload checksum, and that it is filed under exactly wantKey —
+// and returns the verified payload. The error names the failed check with a
+// Reason* constant, so transport-level verification failures count under the
+// same taxonomy as on-disk quarantines.
+func DecodeEnvelope(schema, wantKey string, data []byte) ([]byte, error) {
+	env, reason, detail := verifyEnvelope(schema, data)
+	if reason != "" {
+		return nil, fmt.Errorf("cellstore: envelope %s: %s", reason, detail)
+	}
+	if env.Key != wantKey {
+		return nil, fmt.Errorf("cellstore: envelope %s: carries key %q, want %q", ReasonKey, env.Key, wantKey)
+	}
+	out := make([]byte, len(env.Payload))
+	copy(out, env.Payload)
+	return out, nil
 }
 
 // clip bounds a possibly-garbage string for log lines.
@@ -357,19 +406,17 @@ func (s *Store) quarantineFile(path, reason, detail string) {
 	fmt.Fprintf(s.log, "cellstore: quarantined %s: %s (%s)\n", base, reason, detail)
 }
 
-// appendQuarantineLog appends one line to quarantine/quarantine.log. The
-// log is evidence, not state: append errors are reported, not fatal.
+// appendQuarantineLog appends one line to quarantine/quarantine.log through
+// atomicio.AppendFile, so the reason line for a quarantined specimen is as
+// durable as the record writes themselves — a crash right after a
+// quarantine cannot keep the specimen but lose the evidence of why it
+// moved. The log is evidence, not state: append errors are reported, not
+// fatal.
 func (s *Store) appendQuarantineLog(line string) {
 	path := filepath.Join(s.dir, quarantineDir, quarantineLog)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		fmt.Fprintf(s.log, "cellstore: quarantine log: %v\n", err)
-		return
-	}
-	if _, err := f.WriteString(line); err != nil {
+	if err := atomicio.AppendFile(path, []byte(line), 0o644); err != nil {
 		fmt.Fprintf(s.log, "cellstore: quarantine log: %v\n", err)
 	}
-	f.Close()
 }
 
 // Get returns the verified payload stored under key, reporting whether one
@@ -424,19 +471,7 @@ func (s *Store) Has(key string) bool {
 // Put stores payload (which must be valid JSON) under key, atomically
 // replacing any previous record, then enforces the byte budget.
 func (s *Store) Put(key string, payload []byte) error {
-	var compact bytes.Buffer
-	if err := json.Compact(&compact, payload); err != nil {
-		return fmt.Errorf("cellstore: put %q: payload is not valid JSON: %w", key, err)
-	}
-	sum := sha256.Sum256(compact.Bytes())
-	env := envelope{
-		Format:  formatVersion,
-		Schema:  s.schema,
-		Key:     key,
-		SHA256:  hex.EncodeToString(sum[:]),
-		Payload: json.RawMessage(compact.Bytes()),
-	}
-	data, err := json.Marshal(&env)
+	data, err := EncodeEnvelope(s.schema, key, payload)
 	if err != nil {
 		return fmt.Errorf("cellstore: put %q: %w", key, err)
 	}

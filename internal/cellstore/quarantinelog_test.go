@@ -1,0 +1,93 @@
+package cellstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuarantineLogAppendErrorIsNonFatal plants a directory where
+// quarantine.log lives: the evidence line cannot be written, but the
+// quarantine itself — moving the specimen, counting the reason, serving a
+// miss — must still complete, with the log failure reported on the store's
+// log writer rather than swallowed.
+func TestQuarantineLogAppendErrorIsNonFatal(t *testing.T) {
+	dir := t.TempDir()
+	var logBuf bytes.Buffer
+	s, err := Open(Options{Dir: dir, Schema: "test/1", Log: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("victim", payload(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Squat on the log path so AppendFile must fail.
+	if err := os.Mkdir(s.QuarantineLogPath(), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: checksum verification fails on read.
+	path := recordFile(t, s, "victim")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.LastIndexByte(data, '}')
+	data[i-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get("victim"); ok {
+		t.Fatal("corrupt record served")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	specimens, _ := filepath.Glob(filepath.Join(dir, quarantineDir, "*"+recordExt+"*"))
+	if len(specimens) != 1 {
+		t.Fatalf("quarantine holds %d specimens, want 1", len(specimens))
+	}
+	out := logBuf.String()
+	if !strings.Contains(out, "quarantine log:") {
+		t.Errorf("append failure not reported on the store log:\n%s", out)
+	}
+	if !strings.Contains(out, "quarantined") {
+		t.Errorf("quarantine event itself not logged:\n%s", out)
+	}
+}
+
+// TestQuarantineLogSurvivesReopen: evidence lines accumulate across store
+// generations — reopening must append, not truncate.
+func TestQuarantineLogSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	corruptOne := func(key string) {
+		s := openTest(t, dir, 0)
+		if err := s.Put(key, payload(1)); err != nil {
+			t.Fatal(err)
+		}
+		path := recordFile(t, s, key)
+		data, _ := os.ReadFile(path)
+		i := bytes.LastIndexByte(data, '}')
+		data[i-1] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Fatal("corrupt record served")
+		}
+		s.Close()
+	}
+	corruptOne("gen1")
+	corruptOne("gen2")
+	logData, err := os.ReadFile(filepath.Join(dir, quarantineDir, quarantineLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(logData), "reason="); got != 2 {
+		t.Fatalf("log holds %d evidence lines, want 2 (reopen truncated?):\n%s", got, logData)
+	}
+}

@@ -214,12 +214,19 @@ func (c *Checkpoint) Load(key runKey) (*system.Result, *metrics.Data, bool) {
 // workload generator internals that do not round-trip (and nothing
 // downstream of the runner reads it).
 func (c *Checkpoint) Store(key runKey, res *system.Result, obs *metrics.Data) error {
-	rec := *res
-	rec.Opts = system.Options{}
-	payload, err := json.Marshal(&cellRecord{Result: &rec, Metrics: obs})
+	payload, err := encodeCellPayload(res, obs)
 	if err != nil {
 		return fmt.Errorf("checkpoint: cell %s: %w", key, err)
 	}
+	return c.AdoptPayload(key, payload)
+}
+
+// AdoptPayload persists an already-encoded cell payload — the bytes a worker
+// returned over the fabric, envelope-verified by the transport. Adopting
+// instead of re-encoding keeps the store record byte-for-byte what a local
+// run would have written, which is what makes remote re-dispatch idempotent
+// and warm restarts byte-identical.
+func (c *Checkpoint) AdoptPayload(key runKey, payload []byte) error {
 	if err := c.store.Put(c.storeKey(key), payload); err != nil {
 		return fmt.Errorf("checkpoint: cell %s: %w", key, err)
 	}
@@ -227,4 +234,23 @@ func (c *Checkpoint) Store(key runKey, res *system.Result, obs *metrics.Data) er
 	c.stored++
 	c.mu.Unlock()
 	return nil
+}
+
+// ConfigHashKey returns the config hash scoping this checkpoint's store
+// keys; PayloadKey(ConfigHashKey(), spec) names the record a cell lands in.
+func (c *Checkpoint) ConfigHashKey() string { return c.cfgHash }
+
+// ReverifyCell re-reads a cell's store record through the full verification
+// path, quarantining it (via the store's own machinery) if it is damaged. It
+// reports whether a verified record remains. The fabric's coordinator calls
+// this on a worker whose returned envelope failed verification: if the
+// worker's durable copy is the corrupt one, it must not survive to poison
+// the next dispatch.
+func (c *Checkpoint) ReverifyCell(spec CellSpec) bool {
+	k, err := spec.runKey()
+	if err != nil {
+		return false
+	}
+	_, ok := c.store.Get(c.storeKey(k))
+	return ok
 }

@@ -229,6 +229,10 @@ type runnerState struct {
 	// checkpoint, when attached, is consulted before simulating a cell and
 	// updated after each success.
 	checkpoint *Checkpoint
+	// remote, when set, executes checkpoint-missing cells out of process
+	// (SetRemoteExecutor); the coordinator side of internal/fabric installs
+	// it. Local simulation never runs while it is set.
+	remote RemoteExecutor
 }
 
 // NewRunner builds a Runner over a configuration. The worker pool defaults
@@ -340,12 +344,13 @@ func (r *Runner) SetCellObserver(obs func(cellKey string, err error)) {
 // CellSettlement describes one settled cell to the telemetry hook: the
 // cell's key, how long settling it took (wall clock — profiling data, never
 // exported deterministically), whether the result was restored from the
-// durable store rather than simulated, and the final error (nil on
-// success).
+// durable store rather than simulated, whether it was executed remotely by
+// the fabric, and the final error (nil on success).
 type CellSettlement struct {
 	Key       string
 	WallNS    int64
 	FromStore bool
+	Remote    bool
 	Err       error
 }
 
@@ -461,6 +466,13 @@ func (r *Runner) Result(wl string, d system.Design, s system.Setting) (*system.R
 // still live retries with a fresh flight instead of inheriting a failure it
 // did not cause.
 func (r *Runner) result(key runKey) (*system.Result, error) {
+	res, _, err := r.resultObs(key)
+	return res, err
+}
+
+// resultObs is result plus the cell's observability sidecar; the worker side
+// of the fabric needs both to rebuild the canonical persisted payload.
+func (r *Runner) resultObs(key runKey) (*system.Result, *metrics.Data, error) {
 	ctx := r.callCtx()
 	for {
 		r.mu.Lock()
@@ -472,26 +484,26 @@ func (r *Runner) result(key runKey) (*system.Result, error) {
 				r.planOrder = append(r.planOrder, key)
 			}
 			r.mu.Unlock()
-			return f.res, nil
+			return f.res, nil, nil
 		}
 		if f, ok := r.cache[key]; ok {
 			r.mu.Unlock()
 			select {
 			case <-f.done:
 			case <-ctx.Done():
-				return nil, withCode(ErrCanceled,
+				return nil, nil, withCode(ErrCanceled,
 					fmt.Errorf("harness: cell %s: abandoned wait: %w", key, ctx.Err()))
 			}
 			if errors.Is(f.err, ErrCanceled) && ctx.Err() == nil {
 				continue // the starter gave up, we have not: retry fresh
 			}
-			return f.res, f.err
+			return f.res, f.obs, f.err
 		}
 		f := &flight{done: make(chan struct{})}
 		r.cache[key] = f
 		r.mu.Unlock()
 		r.runCell(ctx, key, f)
-		return f.res, f.err
+		return f.res, f.obs, f.err
 	}
 }
 
@@ -508,6 +520,7 @@ func (r *Runner) runCell(ctx context.Context, key runKey, f *flight) {
 	//lint:ignore determinism per-cell wall-clock profiling, never feeds simulated state or deterministic exports
 	start := time.Now()
 	fromStore := false
+	viaRemote := false
 	// Settlement bookkeeping: record the profiling row, evict canceled (and,
 	// in service mode, failed) cells so a later request re-attempts them, and
 	// notify the observers. One defer, not several: the profile must be
@@ -535,6 +548,7 @@ func (r *Runner) runCell(ctx context.Context, key runKey, f *flight) {
 				Key:       key.String(),
 				WallNS:    f.prof.WallNS,
 				FromStore: fromStore,
+				Remote:    viaRemote,
 				Err:       f.err,
 			})
 		}
@@ -552,6 +566,7 @@ func (r *Runner) runCell(ctx context.Context, key runKey, f *flight) {
 	timeout := r.cellTimeout
 	retries, backoff := r.retries, r.retryBackoff
 	cp := r.checkpoint
+	remote := r.remote
 	r.mu.Unlock()
 
 	if cp != nil {
@@ -590,6 +605,22 @@ func (r *Runner) runCell(ctx context.Context, key runKey, f *flight) {
 	attemptCtx := context.Background()
 	if r.reqCtx != nil {
 		attemptCtx = ctx
+	}
+
+	// Remote execution path: the fabric coordinator dispatches the cell
+	// instead of simulating it. The executor owns retry/hedging/failover, so
+	// its error is final; the payload it returns was already adopted into
+	// the checkpoint by remoteCell, so the local Store below is skipped.
+	if remote != nil {
+		viaRemote = true
+		res, obs, err := r.remoteCell(attemptCtx, key, remote, cp)
+		if err != nil {
+			f.err = err
+			return
+		}
+		f.res = res
+		f.obs = obs
+		return
 	}
 
 	var res *system.Result

@@ -100,7 +100,15 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) 
 	var last error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := c.sleep(ctx, c.backoff(attempt, last)); err != nil {
+			d := c.backoff(attempt, last)
+			// A cooldown that cannot finish before the request deadline is a
+			// guaranteed failure: surface the deadline now instead of
+			// sleeping through the remaining budget first.
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < d {
+				return nil, fmt.Errorf("serve: %v backoff would outlive the request deadline: %w",
+					d, context.DeadlineExceeded)
+			}
+			if err := c.sleep(ctx, d); err != nil {
 				return nil, err
 			}
 		}

@@ -221,6 +221,12 @@ func (s *Server) isReady() bool {
 	return s.ready
 }
 
+// Ready reports whether the server is accepting work (Start called, Drain
+// not yet begun). Sidecar handlers mounted next to this server — the fabric
+// worker's cell endpoint — gate on it so a draining process stops taking
+// cells at the same instant it stops taking requests.
+func (s *Server) Ready() bool { return s.isReady() }
+
 // handleHealthz reports liveness as JSON with uptime and the simulator
 // schema version, so an operator (or a deploy probe) can spot a stale
 // binary at a glance. Health responses must never be cached — a load

@@ -91,7 +91,7 @@ func NewTelemetry() *Telemetry {
 		cellSeconds: r.NewHistogram("dylect_cell_seconds",
 			"Fresh cell execution time in seconds by (workload/design) class.", cellBuckets, "class"),
 		cells: r.NewCounter("dylect_cells_total",
-			"Successfully settled cells by class and source (fresh simulation vs durable store).",
+			"Successfully settled cells by class and source (fresh simulation, durable store, or remote fabric dispatch).",
 			"class", "source"),
 		cellFailures: r.NewCounter("dylect_cell_failures_total",
 			"Failed cells by class and stable error code.", "class", "code"),
@@ -140,6 +140,13 @@ func (t *Telemetry) observeCell(s harness.CellSettlement) {
 	}
 	if s.FromStore {
 		t.cells.Inc(class, "store")
+		return
+	}
+	if s.Remote {
+		// Dispatched over the fabric: the wall time is dispatch latency
+		// (queue + remote simulation + transfer), still worth a histogram.
+		t.cells.Inc(class, "remote")
+		t.cellSeconds.Observe(float64(s.WallNS)/1e9, class)
 		return
 	}
 	t.cells.Inc(class, "fresh")

@@ -94,7 +94,12 @@ func (f *Family) Quantile(q float64, match map[string]string) float64 {
 			if math.IsInf(e, +1) {
 				return prevEdge
 			}
-			if cum == prevCum {
+			// Guard the interpolation denominator: an all-zero or flat
+			// cumulative segment (zero-sample series on a fresh boot, or a
+			// merged curve whose edges disagree across series) must not
+			// divide by zero — or by a negative step — so any non-increasing
+			// segment resolves to the bucket edge itself.
+			if cum <= prevCum {
 				return e
 			}
 			return prevEdge + (e-prevEdge)*(rank-prevCum)/(cum-prevCum)

@@ -207,3 +207,39 @@ func TestQuantileEmpty(t *testing.T) {
 		t.Errorf("quantile of empty histogram = %v, want NaN", q)
 	}
 }
+
+// TestQuantileZeroAndFlatCurves pins the degenerate histogram shapes a
+// fresh-boot scrape (or a merged multi-series curve) can produce: explicit
+// all-zero buckets must yield NaN, and a flat cumulative segment must
+// resolve to a bucket edge instead of dividing by zero.
+func TestQuantileZeroAndFlatCurves(t *testing.T) {
+	bucket := func(le string, v float64) Sample {
+		return Sample{Name: "h_bucket", Labels: map[string]string{"le": le}, Value: v}
+	}
+	// Explicit zero-count buckets: a histogram family that has a series but
+	// no observations yet.
+	zero := &Family{Name: "h", Kind: KindHistogram, Samples: []Sample{
+		bucket("0.1", 0), bucket("1", 0), bucket("+Inf", 0),
+	}}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := zero.Quantile(q, nil); !math.IsNaN(got) {
+			t.Errorf("zero-bucket quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	// Flat interior segment: all mass lands in the second bucket, later
+	// cumulative counts never advance. Quantiles above the mass must not
+	// interpolate across the zero-width step.
+	flat := &Family{Name: "h", Kind: KindHistogram, Samples: []Sample{
+		bucket("0.001", 0), bucket("0.01", 5), bucket("0.1", 5),
+		bucket("1", 5), bucket("+Inf", 5),
+	}}
+	for _, q := range []float64{0.5, 0.95, 1} {
+		got := flat.Quantile(q, nil)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("flat-curve quantile(%v) = %v", q, got)
+		}
+		if got < 0.001 || got > 0.01*(1+1e-9) {
+			t.Errorf("flat-curve quantile(%v) = %v, want within the mass bucket (0.001, 0.01]", q, got)
+		}
+	}
+}

@@ -34,6 +34,14 @@
 #            sweep mid-write across three cycles, corrupt records between
 #            restarts, require quarantine + byte-identical recovery
 #            (scripts/store_crash.sh; STORE_DIR keeps the artifacts)
+#   fabric   distributed sweep fabric gate: race-mode unit tests for
+#            internal/fabric (ring, dispatch, hedging, membership), the
+#            remote-execution harness tests, and the CLI cluster round
+#            trip, then the out-of-process chaos soak — coordinator plus
+#            three workers with hang scripts, SIGKILL one mid-lease,
+#            require orphan re-dispatch, fired hedges, a byte-identical
+#            merge, clean drains, and a store-sourced warm restart
+#            (scripts/fabric_chaos.sh; FABRIC_DIR keeps the artifacts)
 #   fuzz     10s smoke per fuzz target in ./internal/comp and the
 #            BENCH_*.json snapshot decoder in ./internal/perfbench
 #   bench    perf-trajectory gate: run the pinned dylect-bench suite and
@@ -50,13 +58,13 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(build vet lint contracts race golden faults obs serve store fuzz bench)
+[ ${#steps[@]} -eq 0 ] && steps=(build vet lint contracts race golden faults obs serve store fabric fuzz bench)
 
 for s in "${steps[@]}"; do
 	case "$s" in
-	build | vet | lint | contracts | race | golden | faults | obs | serve | store | fuzz | bench) ;;
+	build | vet | lint | contracts | race | golden | faults | obs | serve | store | fabric | fuzz | bench) ;;
 	*)
-		echo "unknown step '$s' (want: build vet lint contracts race golden faults obs serve store fuzz bench)" >&2
+		echo "unknown step '$s' (want: build vet lint contracts race golden faults obs serve store fabric fuzz bench)" >&2
 		exit 2
 		;;
 	esac
@@ -244,6 +252,16 @@ if want store; then
 		-run 'TestStoreChaos|TestCorruptCell|TestCheckpoint|TestConfigHash|TestFreshCost' \
 		./internal/harness
 	scripts/store_crash.sh
+fi
+
+if want fabric; then
+	echo "== sweep fabric (race units + cluster chaos soak)"
+	go test -race -count=1 ./internal/fabric
+	go test -race -count=1 \
+		-run 'TestCellSpec|TestExecuteCellPayload|TestRemote' ./internal/harness
+	go test -race -count=1 \
+		-run 'TestCluster|TestWorkerCLI|TestParseChaos' ./cmd/dylect-served
+	scripts/fabric_chaos.sh
 fi
 
 if want fuzz; then

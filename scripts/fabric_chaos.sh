@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# fabric_chaos.sh — chaos soak for the distributed sweep fabric
+# (internal/fabric via `dylect-served coordinator|worker`).
+#
+# The in-process fabric suite exercises orphan re-dispatch, hedging, and
+# envelope verification against httptest workers; this script does it with
+# real processes, real SIGKILLs, and real sockets:
+#
+#   1. Run the sweep through a single dylect-served process (-jobs 8) and
+#      keep the client's -json response as the reference.
+#   2. Boot a coordinator (durable store, fast heartbeat, 2s hedge delay)
+#      and three workers that join by announcement:
+#        worker1  -chaos hang:    every cell hangs forever — its dispatches
+#                                 are in-flight when it is SIGKILLed, so the
+#                                 transport break orphans them mid-lease
+#        worker2  clean
+#        worker3  -chaos hang::1  first attempt of every cell hangs past the
+#                                 hedge delay — the coordinator must hedge to
+#                                 the next replica while worker3's watchdog
+#                                 and retry grind through the straggler
+#   3. Sweep through the coordinator; SIGKILL worker1 one second in. The
+#      client must still exit 0 and its response must be byte-identical to
+#      the reference. The /metrics scrape must show orphans, fired hedges,
+#      and remote-sourced cells, and the surviving processes must drain
+#      cleanly on SIGTERM.
+#   4. Warm restart: a fresh coordinator on the same store with an EMPTY
+#      ring re-runs the sweep. It must settle entirely store-sourced —
+#      byte-identical again, no fresh simulations, no remote dispatches.
+#
+# FABRIC_DIR keeps the artifacts (CI uploads the per-process logs and both
+# scrapes); default is ephemeral.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="${FABRIC_DIR:-$(mktemp -d)}"
+mkdir -p "$dir"
+bin="$dir/dylect-served"
+cfg=(-workloads omnetpp,bfs -scale 32 -warmup 10000 -window 8)
+exps=fig17,fig19
+
+echo "== build"
+go build -o "$bin" ./cmd/dylect-served
+
+pids=()
+trap 'for p in "${pids[@]}"; do kill "$p" 2>/dev/null || true; done' EXIT
+
+# boot LOGFILE ARGS... starts one dylect-served process, waits for its
+# address handshake, and sets boot_pid/addr.
+boot() {
+	local log="$1"
+	shift
+	"$bin" "$@" >>"$log" 2>&1 &
+	boot_pid=$!
+	pids+=("$boot_pid")
+	addr=""
+	for _ in $(seq 1 100); do
+		addr="$(sed -n 's/.*dylect-served listening on \(.*\)/\1/p' "$log" 2>/dev/null | tail -1)"
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "$log: no address handshake" >&2
+		cat "$log" >&2
+		exit 1
+	fi
+}
+
+# stop PID LOGFILE SIGTERMs one process and requires exit 0 plus a clean
+# drain.
+stop() {
+	kill -TERM "$1"
+	local rc=0
+	wait "$1" || rc=$?
+	if [ "$rc" -ne 0 ]; then
+		echo "$2: exited $rc after SIGTERM (want 0)" >&2
+		cat "$2" >&2
+		exit 1
+	fi
+	if ! grep -q "drained cleanly" "$2"; then
+		echo "$2: drain was not clean" >&2
+		cat "$2" >&2
+		exit 1
+	fi
+}
+
+# metric_nonzero FILE PATTERN: a sample matching PATTERN has value >= 1.
+metric_nonzero() {
+	grep "$2" "$1" | grep -Evq ' 0(\.0+)?$' || {
+		echo "scrape $1: no nonzero sample matching '$2'" >&2
+		exit 1
+	}
+}
+
+echo "== reference run (single process, -jobs 8)"
+boot "$dir/ref.log" "${cfg[@]}" -addr 127.0.0.1:0 -jobs 8
+ref_pid=$boot_pid
+"$bin" client -addr "http://$addr" -exp "$exps" -json >"$dir/ref.json"
+stop "$ref_pid" "$dir/ref.log"
+
+echo "== cluster: coordinator + 3 workers (chaos scripts armed)"
+boot "$dir/coord.log" coordinator "${cfg[@]}" -addr 127.0.0.1:0 -jobs 8 \
+	-store "$dir/store" -hedge-after 2s -hedge-min 1s -hedge-max 4s \
+	-heartbeat 250ms -dead-after 3 -dispatch-backoff 100ms
+coord_pid=$boot_pid
+coord_addr=$addr
+
+boot "$dir/worker1.log" worker "${cfg[@]}" -addr 127.0.0.1:0 \
+	-coordinator "http://$coord_addr" -chaos hang: -cell-timeout 5s
+w1_pid=$boot_pid
+boot "$dir/worker2.log" worker "${cfg[@]}" -addr 127.0.0.1:0 \
+	-coordinator "http://$coord_addr"
+w2_pid=$boot_pid
+boot "$dir/worker3.log" worker "${cfg[@]}" -addr 127.0.0.1:0 \
+	-coordinator "http://$coord_addr" -chaos hang::1 -cell-timeout 5s
+w3_pid=$boot_pid
+
+echo "== sweep through the cluster; SIGKILL worker1 mid-lease"
+"$bin" client -addr "http://$coord_addr" -exp "$exps" -json >"$dir/out.json" &
+client_pid=$!
+sleep 1
+kill -KILL "$w1_pid" 2>/dev/null || true
+wait "$w1_pid" 2>/dev/null || true
+rc=0
+wait "$client_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+	echo "cluster client exited $rc (want 0 despite the dead worker)" >&2
+	cat "$dir/coord.log" >&2
+	exit 1
+fi
+if ! cmp -s "$dir/ref.json" "$dir/out.json"; then
+	echo "cluster response differs from the single-process reference" >&2
+	exit 1
+fi
+
+"$bin" top -addr "http://$coord_addr" -raw >"$dir/metrics-chaos.txt"
+metric_nonzero "$dir/metrics-chaos.txt" '^dylect_fabric_orphans_total'
+metric_nonzero "$dir/metrics-chaos.txt" '^dylect_fabric_hedges_total{event="fired"}'
+metric_nonzero "$dir/metrics-chaos.txt" '^dylect_fabric_dispatches_total{.*outcome="ok"'
+metric_nonzero "$dir/metrics-chaos.txt" 'dylect_cells_total{.*source="remote"'
+
+for w in "$w2_pid:$dir/worker2.log" "$w3_pid:$dir/worker3.log"; do
+	stop "${w%%:*}" "${w#*:}"
+	if ! grep -q "fabric dispatches drained" "${w#*:}"; then
+		echo "${w#*:}: worker drain abandoned in-flight dispatches" >&2
+		cat "${w#*:}" >&2
+		exit 1
+	fi
+done
+stop "$coord_pid" "$dir/coord.log"
+
+echo "== warm restart: empty ring, same store, must settle store-sourced"
+boot "$dir/warm.log" coordinator "${cfg[@]}" -addr 127.0.0.1:0 -jobs 8 \
+	-store "$dir/store"
+warm_pid=$boot_pid
+"$bin" client -addr "http://$addr" -exp "$exps" -json >"$dir/warm.json"
+"$bin" top -addr "http://$addr" -raw >"$dir/metrics-warm.txt"
+if ! cmp -s "$dir/ref.json" "$dir/warm.json"; then
+	echo "warm cluster response differs from the reference" >&2
+	exit 1
+fi
+metric_nonzero "$dir/metrics-warm.txt" 'dylect_cells_total{.*source="store"'
+if grep 'dylect_cells_total{' "$dir/metrics-warm.txt" | grep -Eq 'source="(fresh|remote)"'; then
+	echo "warm restart left the store: cells re-simulated or re-dispatched:" >&2
+	grep 'dylect_cells_total' "$dir/metrics-warm.txt" >&2
+	exit 1
+fi
+stop "$warm_pid" "$dir/warm.log"
+
+[ -n "${FABRIC_DIR:-}" ] || rm -rf "$dir"
+echo "fabric chaos soak passed"
